@@ -1,0 +1,119 @@
+// E10 — Theorem 19 / Lemma 17: EID solves all-to-all dissemination in
+// O(D log^3 n) rounds; General EID pays only a constant factor for not
+// knowing D (guess-and-double + termination check, Lemma 18).
+//
+// Part 1: D sweep at fixed n (paths of heavy edges) — rounds linear in D.
+// Part 2: n sweep at small D — rounds polylog in n.
+// Part 3: known D vs General EID overhead.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/distance.h"
+#include "core/eid.h"
+#include "core/rr_broadcast.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace latgossip;
+
+namespace {
+
+double log3(double n) {
+  const double l = std::log2(n);
+  return l * l * l;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 29));
+
+  std::printf("E10 Theorem 19: EID all-to-all in O(D log^3 n)\n\n");
+
+  // ---- Part 1: D sweep (ring of cliques, heavier bridges) -----------
+  Table t1({"bridge_lat", "D", "eid_rounds", "D*log^3(n)",
+            "rounds/(D log^3 n)", "complete"});
+  for (Latency bridge : {1, 4, 16, 64}) {
+    const auto g = make_ring_of_cliques(6, 5, bridge);
+    const Latency d = weighted_diameter(g);
+    Rng rng(seed + static_cast<std::uint64_t>(bridge));
+    EidOptions opts;
+    opts.diameter_estimate = d;
+    const EidOutcome out =
+        run_eid(g, opts, own_id_rumors(g.num_nodes()), rng);
+    const double yard =
+        static_cast<double>(d) * log3(static_cast<double>(g.num_nodes()));
+    t1.add(static_cast<long long>(bridge), static_cast<long long>(d),
+           out.sim.rounds, yard,
+           static_cast<double>(out.sim.rounds) / yard,
+           out.all_to_all ? "yes" : "NO");
+  }
+  t1.print("Part 1: rounds scale linearly in D (n fixed = 30)");
+
+  // ---- Part 2: n sweep at small diameter -----------------------------
+  Table t2({"n", "D", "eid_rounds", "D*log^3(n)", "rounds/(D log^3 n)",
+            "complete"});
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    Rng grng(seed * 3 + n);
+    auto g = make_erdos_renyi(n, std::min(1.0, 12.0 / n), grng);
+    assign_random_uniform_latency(g, 1, 4, grng);
+    const Latency d = weighted_diameter(g);
+    Rng rng(seed * 5 + n);
+    EidOptions opts;
+    opts.diameter_estimate = d;
+    const EidOutcome out = run_eid(g, opts, own_id_rumors(n), rng);
+    const double yard =
+        static_cast<double>(d) * log3(static_cast<double>(n));
+    t2.add(n, static_cast<long long>(d), out.sim.rounds, yard,
+           static_cast<double>(out.sim.rounds) / yard,
+           out.all_to_all ? "yes" : "NO");
+  }
+  t2.print("Part 2: rounds polylog in n at small D");
+
+  // ---- Part 3: General EID (unknown D) overhead ----------------------
+  Table t3({"graph", "D", "eid(D known)", "general_eid", "overhead",
+            "final_k", "attempts"});
+  struct Cfg { const char* name; WeightedGraph g; };
+  Cfg cfgs[] = {
+      {"path16", make_path(16)},
+      {"ring4x4_bridge8", make_ring_of_cliques(4, 4, 8)},
+      {"grid5x5_lat3",
+       [] {
+         auto g = make_grid(5, 5);
+         assign_uniform_latency(g, 3);
+         return g;
+       }()},
+  };
+  for (Cfg& c : cfgs) {
+    const Latency d = weighted_diameter(c.g);
+    Rng r1(seed + 77);
+    EidOptions opts;
+    opts.diameter_estimate = d;
+    const EidOutcome known =
+        run_eid(c.g, opts, own_id_rumors(c.g.num_nodes()), r1);
+    Rng r2(seed + 78);
+    const GeneralEidOutcome general = run_general_eid(c.g, 0, r2);
+    t3.add(c.name, static_cast<long long>(d), known.sim.rounds,
+           general.sim.rounds,
+           static_cast<double>(general.sim.rounds) /
+               static_cast<double>(known.sim.rounds),
+           static_cast<long long>(general.final_estimate),
+           general.attempts);
+    if (!general.success || !all_sets_full(general.rumors))
+      std::printf("  [warn] general EID incomplete on %s\n", c.name);
+  }
+  t3.print("Part 3: guess-and-double overhead (Theorem 19)");
+  std::printf(
+      "\nshape checks: Part 1 ratio roughly constant in D; Part 2 ratio "
+      "roughly constant in n;\nPart 3 overhead is a small constant — it "
+      "can even drop below 1 because DTG's transitive relays often let "
+      "General EID terminate at an estimate k well below the true "
+      "diameter (its termination check verifies actual completeness, "
+      "Lemma 18).\n");
+  return 0;
+}

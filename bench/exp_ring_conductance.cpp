@@ -1,0 +1,52 @@
+// E6 — Lemmas 9-11: the layered ring has φ_ℓ = Θ(α), critical latency
+// ℓ* = ℓ (for ℓ < s²), and weighted diameter D = Θ(1/φ_ℓ).
+//
+// Builds small rings (exact conductance is feasible up to ~22 nodes),
+// compares the exact φ_ℓ with the closed-form halving-cut value of
+// Lemma 9, reports ℓ* and the product D·φ_ℓ (predicted Θ(1)).
+
+#include <cstdio>
+
+#include "analysis/conductance.h"
+#include "analysis/distance.h"
+#include "graph/gadgets.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace latgossip;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+
+  std::printf("E6  Lemmas 9-11: layered-ring conductance, critical latency "
+              "and diameter\n");
+  std::printf("    exact cut enumeration on small instances\n");
+
+  Table table({"layers", "s", "ell", "phi_ell(exact)", "phi_cut(Lemma9)",
+               "ell_star", "phi_star", "D", "D*phi_ell"});
+  struct Config { std::size_t k, s; Latency ell; };
+  for (const Config& c : {Config{4, 3, 4}, Config{4, 3, 8}, Config{6, 3, 4},
+                          Config{6, 3, 8}, Config{4, 4, 6}, Config{4, 4, 15},
+                          Config{4, 5, 9}, Config{6, 2, 3}}) {
+    Rng rng(seed + c.k * 31 + c.s * 7 + static_cast<std::uint64_t>(c.ell));
+    const auto ring = make_layered_ring(c.k, c.s, c.ell, rng);
+    const auto wc = weighted_conductance_exact(ring.graph);
+    double phi_ell = 0.0;
+    for (std::size_t i = 0; i < wc.levels.size(); ++i)
+      if (wc.levels[i] == c.ell) phi_ell = wc.phi[i];
+    const Latency d = weighted_diameter(ring.graph);
+    table.add(c.k, c.s, static_cast<long long>(c.ell), phi_ell,
+              ring.analytic_phi_ell_cut(),
+              static_cast<long long>(wc.ell_star), wc.phi_star,
+              static_cast<long long>(d),
+              static_cast<double>(d) * phi_ell);
+  }
+  table.print("ring structure vs the closed-form predictions");
+  std::printf(
+      "\nshape checks: phi_ell(exact) <= phi_cut(Lemma9) and within a "
+      "constant of it (Lemma 10);\nell_star equals the cross latency "
+      "whenever ell < s^2 (Lemma 11); D*phi_ell is Theta(1).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// A5 (figure) — rumor spread curves: fraction of informed nodes per
+// round for push-pull broadcast on contrasting topologies. The classic
+// S-curve on well-connected graphs; a latency-staircase on bottlenecked
+// weighted graphs (each step = one slow crossing). This is the
+// round-level picture behind Theorem 12's aggregate bound.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/push_pull.h"
+#include "graph/gadgets.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace latgossip;
+
+namespace {
+
+/// Rounds at which the informed fraction first reaches each decile.
+std::vector<Round> decile_rounds(const PushPullBroadcast& proto,
+                                 std::size_t n) {
+  std::vector<Round> informed_at;
+  for (NodeId v = 0; v < n; ++v)
+    if (proto.inform_round(v) >= 0) informed_at.push_back(
+        proto.inform_round(v));
+  std::sort(informed_at.begin(), informed_at.end());
+  std::vector<Round> deciles;
+  for (int d = 1; d <= 10; ++d) {
+    const std::size_t idx =
+        std::min(informed_at.size() - 1,
+                 (informed_at.size() * d) / 10 == 0
+                     ? 0
+                     : (informed_at.size() * d) / 10 - 1);
+    deciles.push_back(informed_at[idx]);
+  }
+  return deciles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 61));
+
+  std::printf("A5  Spread curves: round at which each decile of nodes is "
+              "informed (push-pull broadcast)\n\n");
+
+  struct Cfg { const char* name; WeightedGraph g; };
+  Rng gen(seed);
+  Cfg cfgs[] = {
+      {"clique128_unit", make_clique(128)},
+      {"er128_twolevel(1,30)",
+       [&] {
+         auto g = make_erdos_renyi(128, 0.1, gen);
+         assign_two_level_latency(g, 1, 30, 0.7, gen);
+         return g;
+       }()},
+      {"pathcliques8x16_bridge25",
+       make_path_of_cliques(8, 16, 25)},
+      {"ring8x16_cross20",
+       [&] {
+         Rng r(seed + 9);
+         return make_layered_ring(8, 16, 20, r).graph;
+       }()},
+  };
+
+  Table t({"graph", "10%", "20%", "30%", "40%", "50%", "60%", "70%", "80%",
+           "90%", "100%"});
+  for (Cfg& c : cfgs) {
+    const std::size_t n = c.g.num_nodes();
+    NetworkView view(c.g, false);
+    PushPullBroadcast proto(view, 0, Rng(seed * 3 + 1));
+    SimOptions opts;
+    opts.max_rounds = 5'000'000;
+    const SimResult r = run_gossip(c.g, proto, opts);
+    if (!r.completed) std::printf("  [warn] incomplete on %s\n", c.name);
+    const auto deciles = decile_rounds(proto, n);
+    t.add(c.name, deciles[0], deciles[1], deciles[2], deciles[3],
+          deciles[4], deciles[5], deciles[6], deciles[7], deciles[8],
+          deciles[9]);
+  }
+  t.print("rounds to reach each informed-fraction decile");
+  std::printf(
+      "\nreading: the unit clique shows the classic logistic S-curve "
+      "(all deciles within a few rounds); bottlenecked weighted families "
+      "show a staircase — each bridge/cross latency crossing adds a "
+      "plateau, which is what the ell*/phi* yardstick aggregates.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E11 — Lemmas 24-26: the T(k) schedule solves all-to-all dissemination
+// in O(D log^2 n log D) rounds without any bound on n; Path Discovery
+// wraps it in guess-and-double.
+//
+// Part 1: D sweep — T(D) rounds vs D log^2(n) log(D).
+// Part 2: n sweep at fixed small D.
+// Part 3: T(D) vs EID vs Path Discovery head-to-head.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/distance.h"
+#include "core/eid.h"
+#include "core/rr_broadcast.h"
+#include "core/tk_schedule.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace latgossip;
+
+namespace {
+
+double tk_yardstick(double d, double n) {
+  const double l = std::log2(n);
+  return d * l * l * std::max(1.0, std::log2(d));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 31));
+
+  std::printf("E11 Lemmas 24-26: the T(k) recursive DTG schedule\n\n");
+
+  // ---- Part 1: D sweep --------------------------------------------
+  Table t1({"bridge_lat", "D", "tk_rounds", "D*log^2(n)*log(D)",
+            "ratio", "complete"});
+  for (Latency bridge : {1, 4, 16, 64}) {
+    const auto g = make_ring_of_cliques(6, 5, bridge);
+    const Latency d = weighted_diameter(g);
+    const TkOutcome out =
+        run_tk_schedule(g, d, own_id_rumors(g.num_nodes()));
+    const double yard = tk_yardstick(static_cast<double>(d),
+                                     static_cast<double>(g.num_nodes()));
+    t1.add(static_cast<long long>(bridge), static_cast<long long>(d),
+           out.sim.rounds, yard,
+           static_cast<double>(out.sim.rounds) / yard,
+           out.all_to_all ? "yes" : "NO");
+  }
+  t1.print("Part 1: rounds vs D log^2(n) log(D) as D grows (n = 30)");
+
+  // ---- Part 2: n sweep --------------------------------------------
+  Table t2({"n", "D", "tk_rounds", "yardstick", "ratio", "complete"});
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    Rng grng(seed + n);
+    auto g = make_erdos_renyi(n, std::min(1.0, 12.0 / n), grng);
+    assign_random_uniform_latency(g, 1, 4, grng);
+    const Latency d = weighted_diameter(g);
+    const TkOutcome out = run_tk_schedule(g, d, own_id_rumors(n));
+    const double yard =
+        tk_yardstick(static_cast<double>(d), static_cast<double>(n));
+    t2.add(n, static_cast<long long>(d), out.sim.rounds, yard,
+           static_cast<double>(out.sim.rounds) / yard,
+           out.all_to_all ? "yes" : "NO");
+  }
+  t2.print("Part 2: rounds vs the yardstick as n grows");
+
+  // ---- Part 3: head-to-head -----------------------------------------
+  Table t3({"graph", "D", "tk(D)", "eid(D)", "path_discovery",
+            "pd_final_k"});
+  struct Cfg { const char* name; WeightedGraph g; };
+  Cfg cfgs[] = {
+      {"ring4x4_bridge8", make_ring_of_cliques(4, 4, 8)},
+      {"grid4x4_lat3",
+       [] {
+         auto g = make_grid(4, 4);
+         assign_uniform_latency(g, 3);
+         return g;
+       }()},
+      {"dumbbell6_bridge10", make_dumbbell(6, 1, 10)},
+  };
+  for (Cfg& c : cfgs) {
+    const Latency d = weighted_diameter(c.g);
+    const std::size_t n = c.g.num_nodes();
+    const TkOutcome tk = run_tk_schedule(c.g, d, own_id_rumors(n));
+    Rng rng(seed + 99);
+    EidOptions opts;
+    opts.diameter_estimate = d;
+    const EidOutcome eid = run_eid(c.g, opts, own_id_rumors(n), rng);
+    const PathDiscoveryOutcome pd = run_path_discovery(c.g);
+    t3.add(c.name, static_cast<long long>(d), tk.sim.rounds,
+           eid.sim.rounds, pd.sim.rounds,
+           static_cast<long long>(pd.final_estimate));
+    if (!tk.all_to_all || !eid.all_to_all || !pd.success)
+      std::printf("  [warn] incomplete run on %s\n", c.name);
+  }
+  t3.print("Part 3: T(D) vs EID(D) vs Path Discovery (unknown D, no "
+           "n-bound needed)");
+  std::printf(
+      "\nshape checks: Part 1/2 ratios roughly constant; T(k) needs no "
+      "upper bound on n but pays an extra log D factor vs EID "
+      "(Lemma 25 vs Lemma 17).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// M2 — engineering micro-benchmarks: exact (Gray-code) and spectral
+// conductance computations.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/conductance.h"
+#include "analysis/spectral.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+using namespace latgossip;
+
+static void BM_ExactConductance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto g = make_erdos_renyi(n, 0.4, rng);
+  assign_random_uniform_latency(g, 1, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weighted_conductance_exact(g, n));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExactConductance)->DenseRange(10, 20, 2);
+
+static void BM_SweepConductance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), rng);
+  assign_two_level_latency(g, 1, 10, 0.5, rng);
+  for (auto _ : state) {
+    Rng sweep_rng(3);
+    benchmark::DoNotOptimize(
+        weight_ell_conductance_sweep(g, 10, 100, sweep_rng));
+  }
+}
+BENCHMARK(BM_SweepConductance)->Range(64, 2048);

@@ -1,0 +1,60 @@
+// M3 — engineering micro-benchmarks: simulator throughput under the
+// main protocols.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dtg.h"
+#include "core/push_pull.h"
+#include "core/rr_broadcast.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+
+using namespace latgossip;
+
+static void BM_PushPullBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng grng(1);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+  assign_random_uniform_latency(g, 1, 8, grng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, Rng(++seed));
+    SimOptions opts;
+    opts.max_rounds = 1'000'000;
+    benchmark::DoNotOptimize(run_gossip(g, proto, opts).rounds);
+  }
+}
+BENCHMARK(BM_PushPullBroadcast)->Range(64, 4096);
+
+static void BM_PushPullAllToAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng grng(2);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    NetworkView view(g, false);
+    PushPullGossip proto(view, GossipGoal::kAllToAll, 0,
+                         PushPullGossip::own_id_rumors(n), Rng(++seed));
+    SimOptions opts;
+    opts.max_rounds = 1'000'000;
+    benchmark::DoNotOptimize(run_gossip(g, proto, opts).rounds);
+  }
+}
+BENCHMARK(BM_PushPullAllToAll)->Range(64, 512);
+
+static void BM_DtgLocalBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng grng(3);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+  for (auto _ : state) {
+    NetworkView view(g, true);
+    DtgLocalBroadcast proto(view, 1, DtgLocalBroadcast::own_id_rumors(n));
+    SimOptions opts;
+    opts.stop_when_idle = false;
+    opts.max_rounds = 1'000'000;
+    benchmark::DoNotOptimize(run_gossip(g, proto, opts).rounds);
+  }
+}
+BENCHMARK(BM_DtgLocalBroadcast)->Range(64, 1024);

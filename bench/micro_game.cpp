@@ -1,0 +1,34 @@
+// M4 — engineering micro-benchmarks: guessing-game oracle and strategy
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "game/game.h"
+#include "game/strategies.h"
+
+using namespace latgossip;
+
+static void BM_GameSingletonAdaptive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    GuessingGame game(m, make_singleton_target(m, rng));
+    AdaptiveCouponStrategy strategy(m);
+    benchmark::DoNotOptimize(play_game(game, strategy, 100 * m).rounds);
+  }
+}
+BENCHMARK(BM_GameSingletonAdaptive)->Range(64, 2048);
+
+static void BM_GameRandomPOracle(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const TargetSet target = make_random_p_target(m, 0.05, rng);
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    GuessingGame game(m, target);
+    RandomPerSideStrategy strategy(m, Rng(++seed));
+    benchmark::DoNotOptimize(play_game(game, strategy, 100000).rounds);
+  }
+}
+BENCHMARK(BM_GameRandomPOracle)->Range(64, 512);

@@ -1,0 +1,63 @@
+// M1 — engineering micro-benchmarks: graph construction, generators,
+// shortest paths.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/distance.h"
+#include "graph/gadgets.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+using namespace latgossip;
+
+static void BM_BuildClique(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = make_clique(n);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildClique)->Range(32, 512)->Complexity(benchmark::oNSquared);
+
+static void BM_BuildErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildErdosRenyi)->Range(64, 1024);
+
+static void BM_BuildLayeredRing(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    auto ring = make_layered_ring(layers, 16, 8, rng);
+    benchmark::DoNotOptimize(ring.graph.num_edges());
+  }
+}
+BENCHMARK(BM_BuildLayeredRing)->Range(4, 64);
+
+static void BM_Dijkstra(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), rng);
+  assign_random_uniform_latency(g, 1, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Range(64, 2048);
+
+static void BM_WeightedDiameter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), rng);
+  assign_random_uniform_latency(g, 1, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weighted_diameter(g));
+  }
+}
+BENCHMARK(BM_WeightedDiameter)->Range(32, 256);

@@ -1,0 +1,42 @@
+// M5 — engineering micro-benchmarks: spanner construction throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/spanner.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+using namespace latgossip;
+
+namespace {
+
+WeightedGraph bench_graph(std::size_t n) {
+  Rng rng(n * 2654435761u + 1);
+  auto g = make_erdos_renyi(n, std::min(1.0, 12.0 / static_cast<double>(n)),
+                            rng);
+  assign_random_uniform_latency(g, 1, 32, rng);
+  return g;
+}
+
+}  // namespace
+
+static void BM_BaswanaSenSpanner(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = bench_graph(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(
+        build_baswana_sen_spanner(g, {3, 0}, rng).num_arcs());
+  }
+}
+BENCHMARK(BM_BaswanaSenSpanner)->Range(128, 4096);
+
+static void BM_GreedySpanner(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = bench_graph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_greedy_spanner(g, 3).num_arcs());
+  }
+}
+BENCHMARK(BM_GreedySpanner)->Range(128, 1024);

@@ -1,0 +1,81 @@
+// p2p_overlay — publish/subscribe event dissemination in a peer-to-peer
+// overlay (the paper's "peer to peer publish-subscribe" motivation).
+//
+// Topology: a small-world overlay (Watts-Strogatz) whose links have
+// two-level latencies — most connections are nearby/fast, rewired
+// long-range links are slow. A publisher injects an event; every peer
+// must receive it.
+//
+// The example walks through the latency-aware toolkit:
+//   1. estimate the overlay's weighted conductance (spectral sweep),
+//   2. broadcast with push-pull and check Theorem 12's prediction,
+//   3. build the Baswana-Sen spanner as an explicit dissemination tree
+//      overlay and compare its per-node fan-out with the raw overlay.
+//
+// Run:  ./p2p_overlay [--n=200] [--k=4] [--beta=0.15] [--seed=11]
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/spanner_check.h"
+#include "analysis/spectral.h"
+#include "core/push_pull.h"
+#include "core/spanner.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace latgossip;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"n", "k", "beta", "seed"});
+  const auto n = static_cast<std::size_t>(args.get_int("n", 200));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 4));
+  const double beta = args.get_double("beta", 0.15);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 11)));
+
+  auto g = make_watts_strogatz(n, k, beta, rng);
+  assign_two_level_latency(g, /*fast=*/1, /*slow=*/25, /*p_fast=*/0.8, rng);
+  std::printf("p2p overlay: %zu peers, %zu links (small world, 20%% slow "
+              "long-range links)\n\n", n, g.num_edges());
+
+  // 1. Weighted conductance estimate (sweep bound; exact is infeasible
+  //    at this size).
+  Rng sweep_rng = rng.fork(1);
+  const auto wc = weighted_conductance_sweep(g, 200, sweep_rng);
+  std::printf("spectral sweep estimate: phi* <= %.4f at ell* = %lld\n",
+              wc.phi_star, static_cast<long long>(wc.ell_star));
+
+  // 2. Event broadcast with push-pull.
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, /*source=*/0, rng.fork(2));
+  SimOptions opts;
+  opts.max_rounds = 2'000'000;
+  const SimResult r = run_gossip(g, proto, opts);
+  const double predicted =
+      static_cast<double>(wc.ell_star) / wc.phi_star *
+      std::log2(static_cast<double>(n));
+  std::printf("push-pull event broadcast: %lld rounds (completed: %s); "
+              "Theorem 12 budget (ell*/phi*) log n ~ %.0f\n",
+              static_cast<long long>(r.rounds), r.completed ? "yes" : "NO",
+              predicted);
+
+  // 3. Spanner as an explicit dissemination overlay.
+  Rng spanner_rng = rng.fork(3);
+  const auto spanner = build_baswana_sen_spanner(g, {0, 0}, spanner_rng);
+  Rng check_rng = rng.fork(4);
+  const auto stats = check_spanner_sampled(g, spanner, 16, check_rng);
+  Table table({"overlay", "links", "max fan-out", "stretch"});
+  table.add("raw small world", g.num_edges(), g.max_degree(), 1.0);
+  table.add("Baswana-Sen spanner", stats.undirected_edges,
+            stats.max_out_degree, stats.max_stretch);
+  table.print("dissemination overlay comparison");
+  std::printf(
+      "\ntakeaway: the oriented spanner caps every peer's fan-out at "
+      "O(log n) while stretching event paths by at most the stretch "
+      "factor — the structure EID exploits for its O(D log^3 n) bound.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// sensor_network — data aggregation in a field of radio sensors (the
+// paper's "sensor network data aggregation" motivation).
+//
+// Topology: n sensors dropped uniformly in the unit square; two sensors
+// can talk when within radio range; link latency grows with distance
+// (longer hops need more retransmissions). One sink node must collect a
+// reading from every sensor, i.e. one-to-all *collection*, which
+// all-to-all dissemination subsumes.
+//
+// We compare push-pull, round-robin flooding, and the T(k) schedule
+// (which needs no bound on the network size — exactly the sensor
+// deployment situation), and show the latency-aware structure via the
+// weighted vs hop diameter.
+//
+// Run:  ./sensor_network [--n=80] [--radius=0.22] [--scale=12] [--seed=3]
+
+#include <cstdio>
+
+#include "analysis/distance.h"
+#include "app/aggregate.h"
+#include "core/flooding.h"
+#include "core/push_pull.h"
+#include "core/rr_broadcast.h"
+#include "core/tk_schedule.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace latgossip;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"n", "radius", "scale", "seed"});
+  const auto n = static_cast<std::size_t>(args.get_int("n", 80));
+  const double radius = args.get_double("radius", 0.22);
+  const double scale = args.get_double("scale", 12.0);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  std::vector<std::pair<double, double>> coords;
+  auto g = make_random_geometric(n, radius, rng, &coords);
+  assign_distance_latency(g, coords, scale);
+
+  std::printf("sensor field: %zu sensors, %zu radio links, link latency "
+              "1..%lld (distance-based)\n",
+              n, g.num_edges(), static_cast<long long>(g.max_latency()));
+  const Latency d = weighted_diameter(g);
+  std::printf("weighted diameter %lld vs hop diameter %lld — latency-aware "
+              "routing matters when they diverge\n\n",
+              static_cast<long long>(d),
+              static_cast<long long>(hop_diameter(g)));
+
+  Table table({"protocol", "rounds", "exchanges", "sink has all readings"});
+
+  // Push-pull until the sink (node 0) holds every reading.
+  {
+    NetworkView view(g, false);
+    PushPullGossip proto(view, GossipGoal::kAllToAll, 0,
+                         PushPullGossip::own_id_rumors(n), rng.fork(1));
+    SimOptions opts;
+    opts.max_rounds = 2'000'000;
+    const SimResult r = run_gossip(g, proto, opts);
+    table.add("push-pull", r.rounds, r.activations,
+              proto.rumors()[0].all() ? "yes" : "NO");
+  }
+
+  // Deterministic round-robin flooding.
+  {
+    NetworkView view(g, false);
+    RoundRobinFlooding proto(view, GossipGoal::kAllToAll, 0,
+                             own_id_rumors(n));
+    SimOptions opts;
+    opts.max_rounds = 2'000'000;
+    const SimResult r = run_gossip(g, proto, opts);
+    table.add("rr-flooding", r.rounds, r.activations,
+              proto.rumors()[0].all() ? "yes" : "NO");
+  }
+
+  // T(D) schedule: deterministic, needs NO bound on n (Appendix E) —
+  // ideal when the deployment size is unknown to the sensors.
+  {
+    const TkOutcome out = run_tk_schedule(g, d, own_id_rumors(n));
+    table.add("T(D) schedule", out.sim.rounds, out.sim.activations,
+              out.rumors[0].all() ? "yes" : "NO");
+  }
+
+  table.print("collecting every sensor reading at the sink");
+
+  // Aggregation without full collection: the minimum battery level
+  // (an idempotent aggregate) converges by gossip in far fewer rounds
+  // and with 64-bit messages.
+  {
+    std::vector<std::int64_t> battery(n);
+    for (std::size_t i = 0; i < n; ++i)
+      battery[i] = 20 + static_cast<std::int64_t>(rng.uniform(80));
+    battery[n / 2] = 3;  // one nearly-dead sensor
+    NetworkView view(g, false);
+    MinAggregation proto(view, battery, rng.fork(9));
+    SimOptions opts;
+    opts.max_rounds = 2'000'000;
+    const SimResult r = run_gossip(g, proto, opts);
+    std::printf("\nmin-battery aggregate: every sensor knows the fleet "
+                "minimum (%lld%%) after %lld rounds — %zu bits of total "
+                "traffic vs the megabytes of full collection.\n",
+                static_cast<long long>(proto.global_min()),
+                static_cast<long long>(r.rounds), r.payload_bits);
+  }
+
+  std::printf(
+      "\ntakeaway: with distance-proportional latencies the weighted "
+      "diameter, not the hop count, governs collection time; T(k) gives a "
+      "deterministic schedule with no knowledge of the deployment size; "
+      "idempotent aggregates ride the same gossip at tiny message cost.\n");
+  return 0;
+}

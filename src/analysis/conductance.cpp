@@ -1,0 +1,181 @@
+#include "analysis/conductance.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace latgossip {
+namespace {
+
+void check_exact_feasible(const WeightedGraph& g, std::size_t max_nodes) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("conductance: need >= 2 nodes");
+  if (n > max_nodes)
+    throw std::invalid_argument(
+        "conductance: graph too large for exact enumeration");
+  for (NodeId v = 0; v < n; ++v)
+    if (g.degree(v) == 0)
+      throw std::invalid_argument("conductance: isolated node (volume 0)");
+}
+
+}  // namespace
+
+std::size_t cut_edges_leq(const WeightedGraph& g,
+                          const std::vector<bool>& in_set, Latency ell) {
+  if (in_set.size() != g.num_nodes())
+    throw std::invalid_argument("cut_edges_leq: membership size mismatch");
+  std::size_t count = 0;
+  for (const Edge& e : g.edges())
+    if (e.latency <= ell && in_set[e.u] != in_set[e.v]) ++count;
+  return count;
+}
+
+double phi_ell_of_cut(const WeightedGraph& g, const std::vector<bool>& in_set,
+                      Latency ell) {
+  const std::size_t vol_u = g.volume(in_set);
+  const std::size_t vol_total = 2 * g.num_edges();
+  const std::size_t vol_min = std::min(vol_u, vol_total - vol_u);
+  if (vol_min == 0)
+    throw std::invalid_argument("phi_ell_of_cut: trivial or zero-volume cut");
+  return static_cast<double>(cut_edges_leq(g, in_set, ell)) /
+         static_cast<double>(vol_min);
+}
+
+namespace {
+
+/// Shared Gray-code cut sweep. Calls visit(vol_S, cut_counts_per_level)
+/// for every nontrivial cut; `cut_counts[i]` is the number of cut edges
+/// whose latency equals levels[i].
+template <typename Visit>
+void for_each_cut(const WeightedGraph& g, const std::vector<Latency>& levels,
+                  Visit&& visit) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> level_of_edge(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto it =
+        std::lower_bound(levels.begin(), levels.end(), g.latency(e));
+    level_of_edge[e] = static_cast<std::size_t>(it - levels.begin());
+  }
+
+  std::vector<bool> in_set(n, false);
+  std::vector<std::size_t> cut_counts(levels.size(), 0);
+  std::size_t vol_s = 0;
+
+  // Node 0 stays on the complement side; enumerate subsets of {1..n-1}
+  // in binary-reflected Gray order so each step flips one node.
+  const std::uint64_t total = std::uint64_t{1} << (n - 1);
+  for (std::uint64_t s = 1; s < total; ++s) {
+    const auto flip_node =
+        static_cast<NodeId>(std::countr_zero(s) + 1);
+    const bool joining = !in_set[flip_node];
+    in_set[flip_node] = joining;
+    if (joining)
+      vol_s += g.degree(flip_node);
+    else
+      vol_s -= g.degree(flip_node);
+    for (const HalfEdge& h : g.neighbors(flip_node)) {
+      // After the flip, the edge is a cut edge iff the endpoints differ.
+      if (in_set[h.to] != in_set[flip_node])
+        ++cut_counts[level_of_edge[h.edge]];
+      else
+        --cut_counts[level_of_edge[h.edge]];
+    }
+    visit(vol_s, cut_counts, in_set);
+  }
+}
+
+std::vector<Latency> distinct_levels(const WeightedGraph& g) {
+  std::vector<Latency> levels;
+  levels.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) levels.push_back(e.latency);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  return levels;
+}
+
+}  // namespace
+
+CutResult weight_ell_conductance_exact(const WeightedGraph& g, Latency ell,
+                                       std::size_t max_nodes) {
+  check_exact_feasible(g, max_nodes);
+  const std::size_t vol_total = 2 * g.num_edges();
+  CutResult best;
+  best.phi = std::numeric_limits<double>::infinity();
+  // Reuse the generic sweep with a two-bucket split: edges with latency
+  // <= ell land at level 0, everything else at a sentinel level above
+  // every latency in the graph.
+  const Latency sentinel = std::max(g.max_latency(), ell) + 1;
+  std::vector<Latency> levels{ell, sentinel};
+  for_each_cut(g, levels,
+               [&](std::size_t vol_s, const std::vector<std::size_t>& counts,
+                   const std::vector<bool>& in_set) {
+                 const std::size_t vol_min =
+                     std::min(vol_s, vol_total - vol_s);
+                 if (vol_min == 0) return;
+                 const double phi = static_cast<double>(counts[0]) /
+                                    static_cast<double>(vol_min);
+                 if (phi < best.phi) {
+                   best.phi = phi;
+                   best.argmin_cut = in_set;
+                 }
+               });
+  return best;
+}
+
+CutResult conductance_exact(const WeightedGraph& g, std::size_t max_nodes) {
+  return weight_ell_conductance_exact(g, g.max_latency(), max_nodes);
+}
+
+WeightedConductance weighted_conductance_exact(const WeightedGraph& g,
+                                               std::size_t max_nodes) {
+  check_exact_feasible(g, max_nodes);
+  const auto levels = distinct_levels(g);
+  if (levels.empty())
+    throw std::invalid_argument("conductance: graph has no edges");
+  const std::size_t vol_total = 2 * g.num_edges();
+
+  std::vector<double> best_phi(levels.size(),
+                               std::numeric_limits<double>::infinity());
+  for_each_cut(
+      g, levels,
+      [&](std::size_t vol_s, const std::vector<std::size_t>& counts,
+          const std::vector<bool>&) {
+        const std::size_t vol_min = std::min(vol_s, vol_total - vol_s);
+        if (vol_min == 0) return;
+        std::size_t prefix = 0;
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+          prefix += counts[i];
+          const double phi = static_cast<double>(prefix) /
+                             static_cast<double>(vol_min);
+          if (phi < best_phi[i]) best_phi[i] = phi;
+        }
+      });
+  return select_phi_star(levels, std::move(best_phi));
+}
+
+WeightedConductance select_phi_star(std::vector<Latency> levels,
+                                    std::vector<double> phi) {
+  if (levels.size() != phi.size() || levels.empty())
+    throw std::invalid_argument("select_phi_star: bad inputs");
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    if (levels[i] <= levels[i - 1])
+      throw std::invalid_argument("select_phi_star: levels must ascend");
+  WeightedConductance wc;
+  wc.levels = std::move(levels);
+  wc.phi = std::move(phi);
+  std::size_t best = 0;
+  double best_ratio = wc.phi[0] / static_cast<double>(wc.levels[0]);
+  for (std::size_t i = 1; i < wc.levels.size(); ++i) {
+    const double ratio = wc.phi[i] / static_cast<double>(wc.levels[i]);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = i;
+    }
+  }
+  wc.phi_star = wc.phi[best];
+  wc.ell_star = wc.levels[best];
+  return wc;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,62 @@
+#pragma once
+// Weighted conductance (Definitions 1 and 2 of the paper).
+//
+// For U ⊆ V and integer ℓ:
+//     φ_ℓ(U) = |E_ℓ(U, V\U)| / min(Vol(U), Vol(V\U))
+// where E_ℓ(U, V\U) is the set of cut edges with latency <= ℓ and
+// Vol(U) = Σ_{u∈U} deg(u). The weight-ℓ conductance is
+// φ_ℓ(G) = min_U φ_ℓ(U); the weighted conductance φ*(G) is the φ_ℓ(G)
+// maximizing φ_ℓ(G)/ℓ over ℓ, and ℓ* is the maximizing ℓ.
+//
+// Exact computation enumerates all cuts via Gray code (feasible up to
+// ~24 nodes); larger graphs use the spectral sweep bound (spectral.h) or
+// the closed-form values of the constructed families.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace latgossip {
+
+/// Number of cut edges with latency <= ell for the cut given by in_set.
+std::size_t cut_edges_leq(const WeightedGraph& g,
+                          const std::vector<bool>& in_set, Latency ell);
+
+/// φ_ℓ(U) for one cut (Definition 1). Requires a nontrivial cut; throws
+/// otherwise (both sides must be nonempty and have positive volume).
+double phi_ell_of_cut(const WeightedGraph& g, const std::vector<bool>& in_set,
+                      Latency ell);
+
+struct CutResult {
+  double phi = 0.0;
+  std::vector<bool> argmin_cut;  ///< a cut achieving the minimum
+};
+
+/// Exact φ_ℓ(G) by full cut enumeration. Throws if n > max_nodes (cost
+/// is Θ(2^n · avg_deg)) or if the graph has an isolated node.
+CutResult weight_ell_conductance_exact(const WeightedGraph& g, Latency ell,
+                                       std::size_t max_nodes = 24);
+
+/// Classical conductance = φ_ℓmax (all edges count).
+CutResult conductance_exact(const WeightedGraph& g,
+                            std::size_t max_nodes = 24);
+
+struct WeightedConductance {
+  std::vector<Latency> levels;  ///< distinct edge latencies, ascending
+  std::vector<double> phi;      ///< φ_ℓ(G) at each level
+  double phi_star = 0.0;        ///< Definition 2
+  Latency ell_star = 1;         ///< the critical latency
+};
+
+/// Exact φ_ℓ for every distinct latency level, φ* and ℓ* (Definition 2),
+/// in a single Gray-code enumeration.
+WeightedConductance weighted_conductance_exact(const WeightedGraph& g,
+                                               std::size_t max_nodes = 24);
+
+/// φ* and ℓ* given a per-level φ oracle (used with approximate or
+/// closed-form φ_ℓ values for large graphs). `levels` must be ascending,
+/// `phi` the matching φ_ℓ values.
+WeightedConductance select_phi_star(std::vector<Latency> levels,
+                                    std::vector<double> phi);
+
+}  // namespace latgossip

@@ -1,0 +1,134 @@
+#include "analysis/distance.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace latgossip {
+namespace {
+
+using DistNode = std::pair<Latency, NodeId>;
+
+std::vector<Latency> dijkstra_impl(const WeightedGraph& g, NodeId source,
+                                   Latency cap) {
+  if (source >= g.num_nodes()) throw std::out_of_range("bad source");
+  std::vector<Latency> dist(g.num_nodes(), kUnreachable);
+  std::priority_queue<DistNode, std::vector<DistNode>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& h : g.neighbors(u)) {
+      const Latency w = g.latency(h.edge);
+      if (w > cap) continue;
+      if (d + w < dist[h.to]) {
+        dist[h.to] = d + w;
+        pq.emplace(dist[h.to], h.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<Latency> dijkstra(const WeightedGraph& g, NodeId source) {
+  return dijkstra_impl(g, source, kUnreachable);
+}
+
+std::vector<Latency> dijkstra_capped(const WeightedGraph& g, NodeId source,
+                                     Latency max_latency) {
+  return dijkstra_impl(g, source, max_latency);
+}
+
+std::vector<Latency> dijkstra_directed(const DirectedGraph& g,
+                                       NodeId source) {
+  if (source >= g.num_nodes()) throw std::out_of_range("bad source");
+  std::vector<Latency> dist(g.num_nodes(), kUnreachable);
+  std::priority_queue<DistNode, std::vector<DistNode>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const Arc& a : g.out_arcs(u)) {
+      if (d + a.latency < dist[a.to]) {
+        dist[a.to] = d + a.latency;
+        pq.emplace(dist[a.to], a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Latency> bfs_hops(const WeightedGraph& g, NodeId source) {
+  if (source >= g.num_nodes()) throw std::out_of_range("bad source");
+  std::vector<Latency> hops(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> q;
+  hops[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const HalfEdge& h : g.neighbors(u)) {
+      if (hops[h.to] == kUnreachable) {
+        hops[h.to] = hops[u] + 1;
+        q.push(h.to);
+      }
+    }
+  }
+  return hops;
+}
+
+Latency weighted_eccentricity(const WeightedGraph& g, NodeId source) {
+  const auto dist = dijkstra(g, source);
+  Latency ecc = 0;
+  for (Latency d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Latency weighted_diameter(const WeightedGraph& g) {
+  Latency diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Latency ecc = weighted_eccentricity(g, v);
+    if (ecc == kUnreachable) return kUnreachable;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+Latency hop_diameter(const WeightedGraph& g) {
+  Latency diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Latency d : bfs_hops(g, v)) {
+      if (d == kUnreachable) return kUnreachable;
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+Latency estimate_weighted_diameter(const WeightedGraph& g, int sweeps,
+                                   Rng& rng) {
+  if (g.num_nodes() == 0) return 0;
+  Latency best = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    const auto start = static_cast<NodeId>(rng.uniform(g.num_nodes()));
+    const auto d0 = dijkstra(g, start);
+    NodeId far = start;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (d0[v] == kUnreachable) return kUnreachable;
+      if (d0[v] > d0[far]) far = v;
+    }
+    best = std::max(best, weighted_eccentricity(g, far));
+  }
+  return best;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,74 @@
+#include "analysis/spanner_check.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/distance.h"
+
+namespace latgossip {
+namespace {
+
+SpannerStats base_stats(const DirectedGraph& spanner,
+                        const WeightedGraph& undirected) {
+  SpannerStats s;
+  s.num_arcs = spanner.num_arcs();
+  s.undirected_edges = undirected.num_edges();
+  s.max_out_degree = spanner.max_out_degree();
+  s.avg_out_degree = spanner.num_nodes() == 0
+                         ? 0.0
+                         : static_cast<double>(spanner.num_arcs()) /
+                               static_cast<double>(spanner.num_nodes());
+  s.connected = undirected.is_connected();
+  return s;
+}
+
+double stretch_from_sources(const WeightedGraph& g,
+                            const WeightedGraph& undirected,
+                            const std::vector<NodeId>& sources) {
+  double max_stretch = 0.0;
+  for (NodeId src : sources) {
+    const auto dg = dijkstra(g, src);
+    const auto ds = dijkstra(undirected, src);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == src || dg[v] == kUnreachable) continue;
+      if (ds[v] == kUnreachable)
+        throw std::runtime_error("spanner disconnects a reachable pair");
+      max_stretch =
+          std::max(max_stretch, static_cast<double>(ds[v]) /
+                                    static_cast<double>(dg[v]));
+    }
+  }
+  return max_stretch;
+}
+
+}  // namespace
+
+SpannerStats check_spanner_exact(const WeightedGraph& g,
+                                 const DirectedGraph& spanner) {
+  if (g.num_nodes() != spanner.num_nodes())
+    throw std::invalid_argument("spanner node count mismatch");
+  const WeightedGraph undirected = spanner.to_undirected();
+  SpannerStats s = base_stats(spanner, undirected);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  s.max_stretch = stretch_from_sources(g, undirected, all);
+  return s;
+}
+
+SpannerStats check_spanner_sampled(const WeightedGraph& g,
+                                   const DirectedGraph& spanner,
+                                   std::size_t num_sources, Rng& rng) {
+  if (g.num_nodes() != spanner.num_nodes())
+    throw std::invalid_argument("spanner node count mismatch");
+  const WeightedGraph undirected = spanner.to_undirected();
+  SpannerStats s = base_stats(spanner, undirected);
+  num_sources = std::min(num_sources, g.num_nodes());
+  std::vector<NodeId> sources;
+  for (std::size_t idx : rng.sample_without_replacement(g.num_nodes(),
+                                                        num_sources))
+    sources.push_back(static_cast<NodeId>(idx));
+  s.max_stretch = stretch_from_sources(g, undirected, sources);
+  return s;
+}
+
+}  // namespace latgossip

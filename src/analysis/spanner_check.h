@@ -1,0 +1,31 @@
+#pragma once
+// Verification helpers for spanners (Lemma 13 / Theorem 14): stretch,
+// size, and out-degree statistics. Recall S is an α-spanner of G if
+// dist_S(u, v) <= α * dist_G(u, v) for all pairs.
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+struct SpannerStats {
+  std::size_t num_arcs = 0;         ///< directed spanner size
+  std::size_t undirected_edges = 0; ///< after dropping orientation
+  std::size_t max_out_degree = 0;
+  double avg_out_degree = 0.0;
+  double max_stretch = 0.0;         ///< max over checked pairs
+  bool connected = false;           ///< undirected spanner connected
+};
+
+/// Exact max stretch: runs Dijkstra from every node in both G and the
+/// undirected spanner. Quadratic in n; use for n up to a few thousand.
+SpannerStats check_spanner_exact(const WeightedGraph& g,
+                                 const DirectedGraph& spanner);
+
+/// Sampled max stretch from `num_sources` random sources.
+SpannerStats check_spanner_sampled(const WeightedGraph& g,
+                                   const DirectedGraph& spanner,
+                                   std::size_t num_sources, Rng& rng);
+
+}  // namespace latgossip

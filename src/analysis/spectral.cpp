@@ -1,0 +1,150 @@
+#include "analysis/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace latgossip {
+namespace {
+
+/// One multiply by the lazy symmetric-normalized adjacency of G_ell:
+/// y = (x + D^{-1/2} A' D^{-1/2} x) / 2, where A' keeps latency-<=ell
+/// edges and folds the remaining degree into self-loops.
+void lazy_multiply(const WeightedGraph& g, Latency ell,
+                   const std::vector<double>& inv_sqrt_deg,
+                   const std::vector<double>& self_loop,
+                   const std::vector<double>& x, std::vector<double>& y) {
+  const std::size_t n = g.num_nodes();
+  for (std::size_t u = 0; u < n; ++u)
+    y[u] = self_loop[u] * x[u] * inv_sqrt_deg[u] * inv_sqrt_deg[u];
+  for (const Edge& e : g.edges()) {
+    if (e.latency > ell) continue;
+    y[e.u] += inv_sqrt_deg[e.u] * inv_sqrt_deg[e.v] * x[e.v];
+    y[e.v] += inv_sqrt_deg[e.u] * inv_sqrt_deg[e.v] * x[e.u];
+  }
+  for (std::size_t u = 0; u < n; ++u) y[u] = 0.5 * (x[u] + y[u]);
+}
+
+void normalize(std::vector<double>& x) {
+  double norm = std::sqrt(
+      std::inner_product(x.begin(), x.end(), x.begin(), 0.0));
+  if (norm == 0.0) norm = 1.0;
+  for (double& v : x) v /= norm;
+}
+
+void deflate(std::vector<double>& x, const std::vector<double>& v1) {
+  const double dot =
+      std::inner_product(x.begin(), x.end(), v1.begin(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= dot * v1[i];
+}
+
+}  // namespace
+
+CutResult weight_ell_conductance_sweep(const WeightedGraph& g, Latency ell,
+                                       int iterations, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("sweep: need >= 2 nodes");
+  if (iterations < 1) throw std::invalid_argument("sweep: iterations >= 1");
+  for (NodeId v = 0; v < n; ++v)
+    if (g.degree(v) == 0)
+      throw std::invalid_argument("sweep: isolated node (volume 0)");
+
+  std::vector<double> inv_sqrt_deg(n), self_loop(n);
+  std::vector<std::size_t> deg_ell(n, 0);
+  for (const Edge& e : g.edges())
+    if (e.latency <= ell) {
+      ++deg_ell[e.u];
+      ++deg_ell[e.v];
+    }
+  for (std::size_t u = 0; u < n; ++u) {
+    inv_sqrt_deg[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
+    self_loop[u] = static_cast<double>(g.degree(u) - deg_ell[u]);
+  }
+
+  // Top eigenvector of the normalized adjacency is D^{1/2} * 1.
+  std::vector<double> v1(n);
+  for (std::size_t u = 0; u < n; ++u)
+    v1[u] = std::sqrt(static_cast<double>(g.degree(u)));
+  normalize(v1);
+
+  std::vector<double> x(n), y(n);
+  for (double& v : x) v = rng.uniform_double() - 0.5;
+  deflate(x, v1);
+  normalize(x);
+  for (int it = 0; it < iterations; ++it) {
+    lazy_multiply(g, ell, inv_sqrt_deg, self_loop, x, y);
+    std::swap(x, y);
+    deflate(x, v1);
+    normalize(x);
+  }
+
+  // Sweep in order of the embedding x(u)/sqrt(deg(u)).
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return x[a] * inv_sqrt_deg[a] < x[b] * inv_sqrt_deg[b];
+  });
+
+  const std::size_t vol_total = 2 * g.num_edges();
+  std::vector<bool> in_set(n, false);
+  std::size_t vol_s = 0, cut = 0;
+  CutResult best;
+  best.phi = std::numeric_limits<double>::infinity();
+  for (std::size_t idx = 0; idx + 1 < n; ++idx) {
+    const NodeId u = order[idx];
+    in_set[u] = true;
+    vol_s += g.degree(u);
+    for (const HalfEdge& h : g.neighbors(u)) {
+      if (g.latency(h.edge) > ell) continue;
+      if (in_set[h.to])
+        --cut;
+      else
+        ++cut;
+    }
+    const std::size_t vol_min = std::min(vol_s, vol_total - vol_s);
+    if (vol_min == 0) continue;
+    const double phi =
+        static_cast<double>(cut) / static_cast<double>(vol_min);
+    if (phi < best.phi) {
+      best.phi = phi;
+      best.argmin_cut = in_set;
+    }
+  }
+  return best;
+}
+
+WeightedConductance weighted_conductance_auto(const WeightedGraph& g,
+                                              std::size_t max_exact_nodes,
+                                              int sweep_iterations, Rng& rng,
+                                              bool* exact) {
+  if (g.num_nodes() <= max_exact_nodes) {
+    if (exact != nullptr) *exact = true;
+    return weighted_conductance_exact(g, max_exact_nodes);
+  }
+  if (exact != nullptr) *exact = false;
+  return weighted_conductance_sweep(g, sweep_iterations, rng);
+}
+
+WeightedConductance weighted_conductance_sweep(const WeightedGraph& g,
+                                               int iterations, Rng& rng) {
+  std::vector<Latency> levels;
+  for (const Edge& e : g.edges()) levels.push_back(e.latency);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  if (levels.empty())
+    throw std::invalid_argument("sweep: graph has no edges");
+  std::vector<double> phi;
+  phi.reserve(levels.size());
+  for (Latency ell : levels)
+    phi.push_back(weight_ell_conductance_sweep(g, ell, iterations, rng).phi);
+  // The sweep bound need not be monotone in ell even though the true
+  // φ_ℓ is nondecreasing; enforce monotonicity (a valid strengthening,
+  // since φ_ℓ' <= φ_ℓ upper bounds for ℓ' >= ℓ remain upper bounds).
+  for (std::size_t i = 1; i < phi.size(); ++i)
+    phi[i] = std::max(phi[i], phi[i - 1]);
+  return select_phi_star(std::move(levels), std::move(phi));
+}
+
+}  // namespace latgossip

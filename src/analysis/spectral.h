@@ -1,0 +1,36 @@
+#pragma once
+// Approximate weight-ℓ conductance for graphs too large for exact cut
+// enumeration, via a spectral sweep cut on the strongly edge-induced
+// graph G_ℓ (the multigraph of Theorem 12's proof: edges of latency <= ℓ
+// kept with multiplicity 1, all other incident edges folded into
+// self-loops so that every node keeps its original degree/volume).
+//
+// The sweep cut yields an UPPER bound on φ_ℓ(G); by Cheeger's inequality
+// it is within a quadratic factor of the optimum. Experiments use it as
+// a sanity cross-check against the closed-form gadget values.
+
+#include "analysis/conductance.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+/// Sweep-cut upper bound on φ_ℓ(G). `iterations` power-iteration steps
+/// are used to approximate the second eigenvector of the lazy random
+/// walk on G_ℓ. Returns the best (minimum) φ_ℓ over all sweep prefixes.
+CutResult weight_ell_conductance_sweep(const WeightedGraph& g, Latency ell,
+                                       int iterations, Rng& rng);
+
+/// Approximate φ_ℓ for the given levels plus φ*/ℓ* selection.
+WeightedConductance weighted_conductance_sweep(const WeightedGraph& g,
+                                               int iterations, Rng& rng);
+
+/// Convenience dispatcher: exact enumeration when the graph is small
+/// enough (n <= max_exact_nodes), the spectral sweep bound otherwise.
+/// `exact` reports which path was taken.
+WeightedConductance weighted_conductance_auto(const WeightedGraph& g,
+                                              std::size_t max_exact_nodes,
+                                              int sweep_iterations, Rng& rng,
+                                              bool* exact = nullptr);
+
+}  // namespace latgossip

@@ -1,0 +1,101 @@
+#pragma once
+// A last-writer-wins replicated key-value store — the application payload
+// for anti-entropy gossip (Demers et al.'s epidemic algorithms, the
+// paper's motivating "distributed database replication" citation).
+//
+// Each entry carries a version and the writer's id; (version, writer)
+// orders concurrent writes totally, so merging any two replica states is
+// commutative, associative and idempotent (a state-based LWW-map CRDT):
+// anti-entropy over ANY dissemination protocol converges.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace latgossip {
+
+struct KvEntry {
+  std::string key;
+  std::string value;
+  std::uint64_t version = 0;
+  NodeId writer = kInvalidNode;
+
+  /// LWW order: higher version wins; ties break on writer id.
+  friend bool dominates(const KvEntry& a, const KvEntry& b) {
+    if (a.version != b.version) return a.version > b.version;
+    return a.writer > b.writer;
+  }
+};
+
+class KvStore {
+ public:
+  explicit KvStore(NodeId owner) : owner_(owner) {}
+
+  NodeId owner() const { return owner_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Local write: bumps the version past anything seen for the key.
+  void put(const std::string& key, const std::string& value) {
+    auto it = entries_.find(key);
+    const std::uint64_t next =
+        it == entries_.end() ? 1 : it->second.version + 1;
+    entries_[key] = KvEntry{key, value, next, owner_};
+  }
+
+  /// Merge one remote entry (LWW).
+  void apply(const KvEntry& entry) {
+    auto it = entries_.find(entry.key);
+    if (it == entries_.end() || dominates(entry, it->second))
+      entries_[entry.key] = entry;
+  }
+
+  /// Merge a whole snapshot.
+  void merge(const std::vector<KvEntry>& snapshot) {
+    for (const KvEntry& e : snapshot) apply(e);
+  }
+
+  /// Full-state snapshot (anti-entropy payload).
+  std::vector<KvEntry> snapshot() const {
+    std::vector<KvEntry> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) out.push_back(entry);
+    return out;
+  }
+
+  const KvEntry* get(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Order-independent fingerprint for convergence detection.
+  std::uint64_t digest() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [key, e] : entries_) {
+      std::uint64_t eh = 0x100001b3ULL;
+      for (char c : e.key) eh = (eh ^ static_cast<unsigned char>(c)) * 31;
+      for (char c : e.value) eh = (eh ^ static_cast<unsigned char>(c)) * 37;
+      eh ^= e.version * 0x9e3779b97f4a7c15ULL;
+      eh ^= e.writer;
+      h ^= eh;  // XOR keeps it order-independent
+      h *= 0x100000001b3ULL;
+    }
+    return h ^ entries_.size();
+  }
+
+  /// Approximate wire size of a snapshot, in bits.
+  static std::size_t snapshot_bits(const std::vector<KvEntry>& snapshot) {
+    std::size_t bits = 0;
+    for (const KvEntry& e : snapshot)
+      bits += 8 * (e.key.size() + e.value.size()) + 64 + 32;
+    return bits;
+  }
+
+ private:
+  NodeId owner_;
+  std::map<std::string, KvEntry> entries_;
+};
+
+}  // namespace latgossip

@@ -1,0 +1,158 @@
+#include "core/dtg.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latgossip {
+
+DtgLocalBroadcast::DtgLocalBroadcast(const NetworkView& view, Latency ell,
+                                     std::vector<Bitset> initial_rumors)
+    : view_(view), ell_(ell) {
+  if (!view.latencies_known())
+    throw std::invalid_argument(
+        "DTG requires the known-latency model (a node must know which "
+        "incident edges belong to G_ell)");
+  if (ell < 1) throw std::invalid_argument("DTG: ell must be >= 1");
+  const std::size_t n = view.num_nodes();
+  if (initial_rumors.size() != n)
+    throw std::invalid_argument("DTG: rumor vector size mismatch");
+  master_ = std::move(initial_rumors);
+  ell_neighbors_.resize(n);
+  state_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (master_[u].size() != n)
+      throw std::invalid_argument("DTG: rumor bitset size mismatch");
+    master_[u].set(u);
+    for (const HalfEdge& h : view.neighbors(u))
+      if (view.latency(h.edge) <= ell) ell_neighbors_[u].push_back(h.to);
+    std::sort(ell_neighbors_[u].begin(), ell_neighbors_[u].end());
+    NodeState st;
+    st.linked_set = Bitset(n);
+    st.session = Bitset(n);
+    st.session.set(u);  // R = {v}
+    st.work_data = master_[u];
+    st.work_session = Bitset(n);
+    st.work_session.set(u);
+    state_.push_back(std::move(st));
+  }
+  active_count_ = n;
+}
+
+std::vector<Bitset> DtgLocalBroadcast::own_id_rumors(std::size_t n) {
+  std::vector<Bitset> r(n, Bitset(n));
+  for (std::size_t u = 0; u < n; ++u) r[u].set(u);
+  return r;
+}
+
+bool DtgLocalBroadcast::covered(NodeId u) const {
+  for (NodeId w : ell_neighbors_[u])
+    if (!state_[u].session.test(w)) return false;
+  return true;
+}
+
+void DtgLocalBroadcast::reset_work(NodeId u) {
+  NodeState& st = state_[u];
+  st.work_data = master_[u];  // R' = {v}: v's (compound) rumor
+  st.work_session.clear();
+  st.work_session.set(u);
+}
+
+bool DtgLocalBroadcast::start_iteration(NodeId u) {
+  // Link the lowest-id G_ell neighbor not yet heard this invocation;
+  // such a neighbor is necessarily unlinked (a direct exchange with a
+  // linked neighbor has already delivered its session rumor).
+  NodeState& st = state_[u];
+  for (NodeId w : ell_neighbors_[u]) {
+    if (st.session.test(w)) continue;
+    if (st.linked_set.test(w))
+      throw std::logic_error("DTG invariant: linked neighbor missing rumor");
+    st.linked.push_back(w);
+    st.linked_set.set(w);
+    st.phase = Phase::kPush1;
+    st.step = 0;
+    reset_work(u);
+    max_iteration_ = std::max(max_iteration_, st.linked.size());
+    return true;
+  }
+  return false;
+}
+
+std::optional<NodeId> DtgLocalBroadcast::select_contact(NodeId u, Round r) {
+  if (r % ell_ != 0) return std::nullopt;  // superround boundaries only
+  NodeState& st = state_[u];
+  if (!st.active) return std::nullopt;
+
+  // At an iteration boundary: decide whether to stop or link anew. The
+  // boundary is encoded by an exhausted script (step == linked.size()
+  // in kPush2), including the initial state (no links yet).
+  const bool at_boundary =
+      st.linked.empty() ||
+      (st.phase == Phase::kPush2 && st.step >= st.linked.size());
+  if (at_boundary) {
+    if (covered(u) || !start_iteration(u)) {
+      st.active = false;
+      --active_count_;
+      return std::nullopt;
+    }
+  }
+
+  const std::size_t i = st.linked.size();
+  std::size_t partner_index = 0;
+  switch (st.phase) {
+    case Phase::kPush1:
+    case Phase::kPush2:
+      partner_index = i - 1 - st.step;  // j = i down to 1
+      break;
+    case Phase::kPull1:
+    case Phase::kPull2:
+      partner_index = st.step;  // j = 1 up to i
+      break;
+  }
+  const NodeId partner = st.linked[partner_index];
+
+  // Advance the script position past this exchange.
+  if (++st.step >= i) {
+    st.step = 0;
+    switch (st.phase) {
+      case Phase::kPush1:
+        st.phase = Phase::kPull1;
+        break;
+      case Phase::kPull1:
+        st.phase = Phase::kPull2;
+        reset_work(u);  // R'' = {v}
+        break;
+      case Phase::kPull2:
+        st.phase = Phase::kPush2;
+        break;
+      case Phase::kPush2:
+        st.step = i;  // sentinel: boundary reached
+        break;
+    }
+  }
+  return partner;
+}
+
+DtgLocalBroadcast::Payload DtgLocalBroadcast::capture_payload(NodeId u,
+                                                              Round) const {
+  // Active nodes transmit their pipelined working pair (the behavior
+  // the O(log^2 n) analysis relies on); finished nodes answer with all
+  // they know.
+  const NodeState& st = state_[u];
+  if (st.active) return Payload{st.work_data, st.work_session};
+  return Payload{master_[u], st.session};
+}
+
+void DtgLocalBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
+                                Round, Round) {
+  NodeState& st = state_[u];
+  master_[u] |= payload.data;
+  st.session |= payload.session;
+  if (st.active) {
+    st.work_data |= payload.data;
+    st.work_session |= payload.session;
+  }
+}
+
+bool DtgLocalBroadcast::done(Round) const { return active_count_ == 0; }
+
+}  // namespace latgossip

@@ -1,0 +1,107 @@
+#pragma once
+// ℓ-DTG: Haeupler's Deterministic Tree Gossip local-broadcast protocol
+// executed on G_ℓ (the subgraph of edges with latency <= ℓ), with one
+// DTG step simulated as ℓ rounds of the latency network (Section 5.1 and
+// Appendix C of the paper; pseudocode Algorithm 5).
+//
+// Each node v runs, in lockstep "superrounds" of ℓ network rounds:
+//
+//   R = {v}
+//   for i = 1 until Γ_ℓ(v) ⊆ R:
+//     link a new neighbor u_i
+//     R' = {v};  PUSH: exchange with u_i..u_1;  PULL: exchange with u_1..u_i
+//     R'' = {v}; PULL: exchange with u_1..u_i;  PUSH: exchange with u_i..u_1
+//     R = R ∪ R' ∪ R''
+//
+// When DTG is invoked repeatedly (EID's discovery phase, the T(k)
+// schedule), a node's "rumor" is its accumulated knowledge from earlier
+// invocations, while the termination set R counts only rumors received
+// during THIS invocation — Algorithm 5 restarts R = {v} each time. The
+// implementation therefore carries two bitsets per payload: the data
+// (union of accumulated rumor sets) and the session set (nodes whose
+// current-invocation rumor is contained in the payload). Termination
+// tests the session set; knowledge accumulates in the data set.
+//
+// When acting as the active party a node transmits its current working
+// pair (the pipelined behavior DTG's O(log² n) analysis relies on); a
+// node that already finished answers with everything it knows.
+//
+// ℓ-DTG requires the known-latency model: a node must know which of its
+// incident edges belong to G_ℓ. Within O(ℓ log² n) rounds every node has
+// exchanged current rumor sets with all of its G_ℓ neighbors.
+//
+// NOTE: the protocol initiates exchanges only at superround boundaries
+// (every ℓ rounds); run it with SimOptions::stop_when_idle = false so
+// the engine does not mistake the in-between rounds for quiescence.
+// done() terminates the run as soon as every node is covered.
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/bitset.h"
+
+namespace latgossip {
+
+class DtgLocalBroadcast {
+ public:
+  struct Payload {
+    Bitset data;     ///< union of accumulated rumor sets
+    Bitset session;  ///< nodes whose this-invocation rumor is included
+  };
+
+  static std::size_t payload_bits(const Payload& p) {
+    return 32 * (p.data.count() + p.session.count());
+  }
+
+  /// `initial_rumors[u]` seeds node u's accumulated knowledge (u's own
+  /// id is added automatically). Requires view.latencies_known().
+  DtgLocalBroadcast(const NetworkView& view, Latency ell,
+                    std::vector<Bitset> initial_rumors);
+
+  static std::vector<Bitset> own_id_rumors(std::size_t n);
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  const std::vector<Bitset>& rumors() const { return master_; }
+  std::vector<Bitset> take_rumors() { return std::move(master_); }
+  Latency ell() const { return ell_; }
+
+  /// Largest iteration index any node reached (DTG predicts O(log n)).
+  std::size_t max_iteration() const { return max_iteration_; }
+
+ private:
+  enum class Phase : std::uint8_t { kPush1, kPull1, kPull2, kPush2 };
+
+  struct NodeState {
+    std::vector<NodeId> linked;  ///< u_1 .. u_i in link order
+    Bitset linked_set;           ///< membership mirror of `linked`
+    Bitset session;              ///< R: this-invocation rumors received
+    Bitset work_data;            ///< R'/R'' data content
+    Bitset work_session;         ///< R'/R'' session content
+    Phase phase = Phase::kPush1;
+    std::size_t step = 0;        ///< position within the current phase
+    bool active = true;
+  };
+
+  /// All G_ℓ neighbor ids of u present in u's session set?
+  bool covered(NodeId u) const;
+  /// Start the next iteration for u (links a new neighbor); returns
+  /// false if every G_ℓ neighbor was already heard this invocation.
+  bool start_iteration(NodeId u);
+  void reset_work(NodeId u);
+
+  NetworkView view_;
+  Latency ell_;
+  std::vector<std::vector<NodeId>> ell_neighbors_;  ///< sorted by id
+  std::vector<Bitset> master_;
+  std::vector<NodeState> state_;
+  std::size_t active_count_ = 0;
+  std::size_t max_iteration_ = 0;
+};
+
+}  // namespace latgossip

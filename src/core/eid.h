@@ -1,0 +1,67 @@
+#pragma once
+// Efficient Information Dissemination (Algorithm 3, Theorem 14 /
+// Lemma 17) and General EID (Algorithm 4, Section 5.3, Theorem 19).
+//
+// EID(D), for known latencies and diameter estimate D:
+//   1. O(log n) executions of D-DTG — charged in simulated rounds; the
+//      paper uses them to collect log n-hop neighborhoods so nodes can
+//      run the spanner algorithm locally;
+//   2. Baswana–Sen oriented spanner of G_D — a local computation (zero
+//      rounds) given the discovered neighborhoods and shared randomness;
+//   3. RR Broadcast on the spanner with parameter (2k-1)·D, covering the
+//      spanner's worst-case stretched distances.
+//
+// Total: O(D log^3 n) rounds for all-to-all dissemination.
+//
+// General EID doubles the estimate k = 1, 2, 4, ... and runs EID(k)
+// followed by the Termination Check; rumor sets persist across attempts.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/spanner.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "sim/metrics.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+struct EidOptions {
+  Latency diameter_estimate = 0;  ///< D (required, >= 1)
+  std::size_t n_hat = 0;          ///< size estimate; 0 = exact n
+  std::size_t dtg_repetitions = 0; ///< 0 = ceil(log2 n)
+  std::size_t spanner_k = 0;      ///< 0 = ceil(log2 n_hat)
+  /// Ablation: use the randomized local-broadcast subroutine for the
+  /// discovery phase instead of deterministic DTG (Section 5.1 lists
+  /// both as viable; the paper builds on DTG).
+  bool randomized_local_broadcast = false;
+};
+
+struct EidOutcome {
+  SimResult sim;               ///< accumulated over all phases
+  std::vector<Bitset> rumors;  ///< final rumor sets
+  DirectedGraph spanner{0};
+  bool all_to_all = false;     ///< every node heard every rumor
+};
+
+/// One EID execution with estimate `options.diameter_estimate`, starting
+/// from `initial_rumors` (own ids are added automatically).
+EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
+                   std::vector<Bitset> initial_rumors, Rng& rng);
+
+struct GeneralEidOutcome {
+  SimResult sim;
+  std::vector<Bitset> rumors;
+  Latency final_estimate = 0;   ///< k at successful termination
+  std::size_t attempts = 0;     ///< EID executions (doublings + 1)
+  bool success = false;
+  bool checks_unanimous = true; ///< Lemma 18 held in every check
+};
+
+/// Guess-and-double EID with the Termination Check (Algorithm 4).
+GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
+                                  Rng& rng, Latency initial_guess = 1);
+
+}  // namespace latgossip

@@ -1,0 +1,66 @@
+#include "core/flooding.h"
+
+#include <stdexcept>
+
+namespace latgossip {
+
+RoundRobinFlooding::RoundRobinFlooding(const NetworkView& view,
+                                       GossipGoal goal, NodeId source,
+                                       std::vector<Bitset> initial_rumors)
+    : view_(view),
+      goal_(goal),
+      source_(source),
+      rumors_(std::move(initial_rumors)),
+      next_neighbor_(view.num_nodes(), 0),
+      satisfied_(view.num_nodes(), false) {
+  if (rumors_.size() != view.num_nodes())
+    throw std::invalid_argument("flooding: rumor vector size mismatch");
+  if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
+    throw std::invalid_argument("flooding: bad source");
+  for (NodeId u = 0; u < view.num_nodes(); ++u) refresh_satisfied(u);
+}
+
+std::optional<NodeId> RoundRobinFlooding::select_contact(NodeId u, Round) {
+  const auto neigh = view_.neighbors(u);
+  if (neigh.empty()) return std::nullopt;
+  const NodeId target = neigh[next_neighbor_[u] % neigh.size()].to;
+  ++next_neighbor_[u];
+  return target;
+}
+
+Bitset RoundRobinFlooding::capture_payload(NodeId u, Round) const {
+  return rumors_[u];
+}
+
+void RoundRobinFlooding::deliver(NodeId u, NodeId, Payload payload, EdgeId,
+                                 Round, Round) {
+  rumors_[u] |= payload;
+  if (!satisfied_[u]) refresh_satisfied(u);
+}
+
+bool RoundRobinFlooding::done(Round) const {
+  return satisfied_count_ == satisfied_.size();
+}
+
+bool RoundRobinFlooding::node_satisfied(NodeId u) const {
+  switch (goal_) {
+    case GossipGoal::kSingleSource:
+      return rumors_[u].test(source_);
+    case GossipGoal::kAllToAll:
+      return rumors_[u].count() == view_.num_nodes();
+    case GossipGoal::kLocalBroadcast:
+      for (const HalfEdge& h : view_.neighbors(u))
+        if (!rumors_[u].test(h.to)) return false;
+      return true;
+  }
+  return false;
+}
+
+void RoundRobinFlooding::refresh_satisfied(NodeId u) {
+  if (node_satisfied(u)) {
+    satisfied_[u] = true;
+    ++satisfied_count_;
+  }
+}
+
+}  // namespace latgossip

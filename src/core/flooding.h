@@ -1,0 +1,48 @@
+#pragma once
+// Round-robin flooding baseline: every node cycles deterministically
+// through its neighbors, initiating one exchange per round. This is the
+// natural deterministic comparator for push–pull; on a star it exhibits
+// the Ω(nD) behavior the paper's footnote 2 warns about for push-only
+// protocols, while with bidirectional exchanges it is a strong simple
+// baseline.
+
+#include <optional>
+#include <vector>
+
+#include "core/push_pull.h"
+#include "sim/engine.h"
+#include "util/bitset.h"
+
+namespace latgossip {
+
+class RoundRobinFlooding {
+ public:
+  using Payload = Bitset;
+
+  RoundRobinFlooding(const NetworkView& view, GossipGoal goal, NodeId source,
+                     std::vector<Bitset> initial_rumors);
+
+  static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  const std::vector<Bitset>& rumors() const { return rumors_; }
+
+ private:
+  bool node_satisfied(NodeId u) const;
+  void refresh_satisfied(NodeId u);
+
+  NetworkView view_;
+  GossipGoal goal_;
+  NodeId source_;
+  std::vector<Bitset> rumors_;
+  std::vector<std::size_t> next_neighbor_;
+  std::vector<bool> satisfied_;
+  std::size_t satisfied_count_ = 0;
+};
+
+}  // namespace latgossip

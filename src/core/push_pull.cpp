@@ -1,0 +1,164 @@
+#include "core/push_pull.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latgossip {
+
+PushPullBroadcast::PushPullBroadcast(const NetworkView& view, NodeId source,
+                                     Rng rng)
+    : view_(view),
+      rng_(rng),
+      informed_(view.num_nodes(), false),
+      inform_round_(view.num_nodes(), -1) {
+  if (source >= view.num_nodes())
+    throw std::invalid_argument("push-pull: bad source");
+  informed_[source] = true;
+  inform_round_[source] = 0;
+  informed_count_ = 1;
+}
+
+std::optional<NodeId> PushPullBroadcast::select_contact(NodeId u, Round) {
+  const auto neigh = view_.neighbors(u);
+  if (neigh.empty()) return std::nullopt;
+  return neigh[rng_.uniform(neigh.size())].to;
+}
+
+bool PushPullBroadcast::capture_payload(NodeId u, Round) const {
+  return informed_[u];
+}
+
+void PushPullBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
+                                Round, Round now) {
+  if (payload && !informed_[u]) {
+    informed_[u] = true;
+    inform_round_[u] = now;
+    ++informed_count_;
+  }
+}
+
+bool PushPullBroadcast::done(Round) const {
+  return informed_count_ == informed_.size();
+}
+
+BiasedPushPullBroadcast::BiasedPushPullBroadcast(const NetworkView& view,
+                                                 NodeId source, double rho,
+                                                 Rng rng)
+    : view_(view),
+      rng_(rng),
+      rho_(rho),
+      cumulative_(view.num_nodes()),
+      informed_(view.num_nodes(), false) {
+  if (source >= view.num_nodes())
+    throw std::invalid_argument("biased push-pull: bad source");
+  if (rho < 0.0)
+    throw std::invalid_argument("biased push-pull: rho must be >= 0");
+  if (!view.latencies_known())
+    throw std::invalid_argument(
+        "biased push-pull needs latency knowledge to bias by latency");
+  for (NodeId u = 0; u < view.num_nodes(); ++u) {
+    double total = 0.0;
+    for (const HalfEdge& h : view.neighbors(u)) {
+      total += std::pow(static_cast<double>(view.latency(h.edge)), -rho);
+      cumulative_[u].push_back(total);
+    }
+  }
+  informed_[source] = true;
+  informed_count_ = 1;
+}
+
+std::optional<NodeId> BiasedPushPullBroadcast::select_contact(NodeId u,
+                                                              Round) {
+  const auto& cum = cumulative_[u];
+  if (cum.empty()) return std::nullopt;
+  const double x = rng_.uniform_double() * cum.back();
+  const auto it = std::lower_bound(cum.begin(), cum.end(), x);
+  const auto index = static_cast<std::size_t>(it - cum.begin());
+  return view_.neighbors(u)[std::min(index, cum.size() - 1)].to;
+}
+
+bool BiasedPushPullBroadcast::capture_payload(NodeId u, Round) const {
+  return informed_[u];
+}
+
+void BiasedPushPullBroadcast::deliver(NodeId u, NodeId, Payload payload,
+                                      EdgeId, Round, Round) {
+  if (payload && !informed_[u]) {
+    informed_[u] = true;
+    ++informed_count_;
+  }
+}
+
+bool BiasedPushPullBroadcast::done(Round) const {
+  return informed_count_ == informed_.size();
+}
+
+PushPullGossip::PushPullGossip(const NetworkView& view, GossipGoal goal,
+                               NodeId source,
+                               std::vector<Bitset> initial_rumors, Rng rng)
+    : view_(view),
+      goal_(goal),
+      source_(source),
+      rng_(rng),
+      rumors_(std::move(initial_rumors)),
+      satisfied_(view.num_nodes(), false) {
+  if (rumors_.size() != view.num_nodes())
+    throw std::invalid_argument("push-pull: rumor vector size mismatch");
+  if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
+    throw std::invalid_argument("push-pull: bad source");
+  for (NodeId u = 0; u < view.num_nodes(); ++u) {
+    if (rumors_[u].size() != view.num_nodes())
+      throw std::invalid_argument("push-pull: rumor bitset size mismatch");
+    refresh_satisfied(u);
+  }
+}
+
+std::vector<Bitset> PushPullGossip::own_id_rumors(std::size_t n) {
+  std::vector<Bitset> r(n, Bitset(n));
+  for (std::size_t u = 0; u < n; ++u) r[u].set(u);
+  return r;
+}
+
+std::optional<NodeId> PushPullGossip::select_contact(NodeId u, Round) {
+  const auto neigh = view_.neighbors(u);
+  if (neigh.empty()) return std::nullopt;
+  return neigh[rng_.uniform(neigh.size())].to;
+}
+
+Bitset PushPullGossip::capture_payload(NodeId u, Round) const {
+  return rumors_[u];
+}
+
+void PushPullGossip::deliver(NodeId u, NodeId, Payload payload, EdgeId,
+                             Round, Round) {
+  rumors_[u] |= payload;
+  if (!satisfied_[u]) refresh_satisfied(u);
+}
+
+bool PushPullGossip::done(Round) const {
+  return satisfied_count_ == satisfied_.size();
+}
+
+bool PushPullGossip::node_satisfied(NodeId u) const {
+  switch (goal_) {
+    case GossipGoal::kSingleSource:
+      return rumors_[u].test(source_);
+    case GossipGoal::kAllToAll:
+      return rumors_[u].count() == view_.num_nodes();
+    case GossipGoal::kLocalBroadcast:
+      for (const HalfEdge& h : view_.neighbors(u))
+        if (!rumors_[u].test(h.to)) return false;
+      return true;
+  }
+  return false;
+}
+
+void PushPullGossip::refresh_satisfied(NodeId u) {
+  if (node_satisfied(u)) {
+    satisfied_[u] = true;
+    ++satisfied_count_;
+  }
+}
+
+}  // namespace latgossip

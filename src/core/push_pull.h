@@ -1,0 +1,130 @@
+#pragma once
+// Classical push–pull random phone call gossip (Karp et al.) in the
+// latency model. Theorem 12: push–pull completes broadcast w.h.p. in
+// O((ℓ*/φ*) · log n) rounds, where φ* is the weighted conductance and
+// ℓ* the critical latency. Push–pull never reads latencies, so it works
+// in the unknown-latency model.
+//
+// Two variants:
+//  * PushPullBroadcast — single-source rumor, boolean payloads (fast;
+//    used by the large-scale Theorem 12 experiments).
+//  * PushPullGossip — full rumor sets with a configurable completion
+//    goal (single-source / all-to-all / local broadcast), used by the
+//    lower-bound experiments and the unified algorithm.
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+/// What "done" means for a dissemination run.
+enum class GossipGoal {
+  kSingleSource,   ///< every node holds the source's rumor
+  kAllToAll,       ///< every node holds every rumor
+  kLocalBroadcast, ///< every node holds all of its neighbors' rumors
+};
+
+class PushPullBroadcast {
+ public:
+  using Payload = bool;
+
+  PushPullBroadcast(const NetworkView& view, NodeId source, Rng rng);
+
+  /// Single-rumor push-pull is the paper's "small messages" protocol
+  /// (Conclusion): one bit of payload per direction.
+  static std::size_t payload_bits(const Payload&) { return 1; }
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  bool informed(NodeId u) const { return informed_[u]; }
+  /// Round at which u became informed (-1 if never).
+  Round inform_round(NodeId u) const { return inform_round_[u]; }
+
+ private:
+  NetworkView view_;
+  Rng rng_;
+  std::vector<bool> informed_;
+  std::vector<Round> inform_round_;
+  std::size_t informed_count_ = 0;
+};
+
+/// Latency-biased push-pull: a known-latency variant in which a node
+/// picks neighbor v with probability proportional to 1/latency(u,v)^ρ
+/// (the spatial-gossip idea of Kempe, Kleinberg and Demers, cited by the
+/// paper, transplanted to latencies). ρ = 0 recovers uniform push-pull;
+/// larger ρ avoids slow edges — a concrete answer to the paper's
+/// question whether "a more careful choice of neighbors" helps, at the
+/// price of needing latency knowledge.
+class BiasedPushPullBroadcast {
+ public:
+  using Payload = bool;
+
+  BiasedPushPullBroadcast(const NetworkView& view, NodeId source, double rho,
+                          Rng rng);
+
+  static std::size_t payload_bits(const Payload&) { return 1; }
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  bool informed(NodeId u) const { return informed_[u]; }
+
+ private:
+  NetworkView view_;
+  Rng rng_;
+  double rho_;
+  /// Per node: cumulative selection weights over its adjacency list.
+  std::vector<std::vector<double>> cumulative_;
+  std::vector<bool> informed_;
+  std::size_t informed_count_ = 0;
+};
+
+class PushPullGossip {
+ public:
+  using Payload = Bitset;
+
+  /// `initial_rumors[u]` is u's starting rumor set; for the usual case
+  /// use own_id_rumors(). `source` is only meaningful for
+  /// GossipGoal::kSingleSource.
+  PushPullGossip(const NetworkView& view, GossipGoal goal, NodeId source,
+                 std::vector<Bitset> initial_rumors, Rng rng);
+
+  static std::vector<Bitset> own_id_rumors(std::size_t n);
+
+  /// Rumor sets cost ~32 bits per carried rumor id.
+  static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  const std::vector<Bitset>& rumors() const { return rumors_; }
+  std::vector<Bitset> take_rumors() { return std::move(rumors_); }
+
+ private:
+  bool node_satisfied(NodeId u) const;
+  void refresh_satisfied(NodeId u);
+
+  NetworkView view_;
+  GossipGoal goal_;
+  NodeId source_;
+  Rng rng_;
+  std::vector<Bitset> rumors_;
+  std::vector<bool> satisfied_;
+  std::size_t satisfied_count_ = 0;
+};
+
+}  // namespace latgossip

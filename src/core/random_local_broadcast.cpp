@@ -1,0 +1,84 @@
+#include "core/random_local_broadcast.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latgossip {
+
+RandomLocalBroadcast::RandomLocalBroadcast(const NetworkView& view,
+                                           Latency ell,
+                                           std::vector<Bitset> initial_rumors,
+                                           Rng rng)
+    : view_(view), ell_(ell), rng_(rng) {
+  if (!view.latencies_known())
+    throw std::invalid_argument(
+        "random local broadcast requires the known-latency model");
+  if (ell < 1)
+    throw std::invalid_argument("random local broadcast: ell must be >= 1");
+  const std::size_t n = view.num_nodes();
+  if (initial_rumors.size() != n)
+    throw std::invalid_argument("random local broadcast: rumor size mismatch");
+  master_ = std::move(initial_rumors);
+  ell_neighbors_.resize(n);
+  session_.reserve(n);
+  active_.assign(n, true);
+  for (NodeId u = 0; u < n; ++u) {
+    if (master_[u].size() != n)
+      throw std::invalid_argument(
+          "random local broadcast: rumor bitset size mismatch");
+    master_[u].set(u);
+    for (const HalfEdge& h : view.neighbors(u))
+      if (view.latency(h.edge) <= ell) ell_neighbors_[u].push_back(h.to);
+    Bitset s(n);
+    s.set(u);
+    session_.push_back(std::move(s));
+  }
+  active_count_ = n;
+}
+
+std::vector<Bitset> RandomLocalBroadcast::own_id_rumors(std::size_t n) {
+  std::vector<Bitset> r(n, Bitset(n));
+  for (std::size_t u = 0; u < n; ++u) r[u].set(u);
+  return r;
+}
+
+bool RandomLocalBroadcast::covered(NodeId u) const {
+  for (NodeId w : ell_neighbors_[u])
+    if (!session_[u].test(w)) return false;
+  return true;
+}
+
+std::optional<NodeId> RandomLocalBroadcast::select_contact(NodeId u,
+                                                           Round r) {
+  if (r % ell_ != 0) return std::nullopt;
+  if (!active_[u]) return std::nullopt;
+  // Collect the not-yet-heard G_ell neighbors and pick one uniformly.
+  std::vector<NodeId> missing;
+  for (NodeId w : ell_neighbors_[u])
+    if (!session_[u].test(w)) missing.push_back(w);
+  if (missing.empty()) {
+    active_[u] = false;
+    --active_count_;
+    return std::nullopt;
+  }
+  return missing[rng_.uniform(missing.size())];
+}
+
+RandomLocalBroadcast::Payload RandomLocalBroadcast::capture_payload(
+    NodeId u, Round) const {
+  return Payload{master_[u], session_[u]};
+}
+
+void RandomLocalBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
+                                   Round, Round) {
+  master_[u] |= payload.data;
+  session_[u] |= payload.session;
+  if (active_[u] && covered(u)) {
+    active_[u] = false;
+    --active_count_;
+  }
+}
+
+bool RandomLocalBroadcast::done(Round) const { return active_count_ == 0; }
+
+}  // namespace latgossip

@@ -1,0 +1,69 @@
+#pragma once
+// Randomized ℓ-local broadcast — the randomized alternative to ℓ-DTG.
+//
+// The paper (Section 5.1) notes two known local-broadcast subroutines
+// for unweighted graphs: the randomized "Superstep" algorithm of
+// Censor-Hillel et al. and Haeupler's deterministic DTG; it builds on
+// DTG. This class provides the natural randomized counterpart in our
+// latency model, used as a design ablation for EID's discovery phase:
+// each superround (of ℓ network rounds), every node that has not yet
+// heard all of its G_ℓ neighbors exchanges with a uniformly random
+// not-yet-heard G_ℓ neighbor. Rumors relay transitively exactly as in
+// DTG (payloads carry accumulated data plus this-invocation session
+// coverage).
+//
+// Expected behavior: completion in O(ℓ · Δ_ℓ-ish) superrounds worst
+// case but typically far fewer thanks to relaying; contrast with DTG's
+// deterministic O(ℓ log² n). The ablation bench measures both.
+//
+// Like DTG this requires known latencies and must run with
+// SimOptions::stop_when_idle = false.
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+class RandomLocalBroadcast {
+ public:
+  struct Payload {
+    Bitset data;
+    Bitset session;
+  };
+
+  static std::size_t payload_bits(const Payload& p) {
+    return 32 * (p.data.count() + p.session.count());
+  }
+
+  RandomLocalBroadcast(const NetworkView& view, Latency ell,
+                       std::vector<Bitset> initial_rumors, Rng rng);
+
+  static std::vector<Bitset> own_id_rumors(std::size_t n);
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  const std::vector<Bitset>& rumors() const { return master_; }
+  std::vector<Bitset> take_rumors() { return std::move(master_); }
+
+ private:
+  bool covered(NodeId u) const;
+
+  NetworkView view_;
+  Latency ell_;
+  Rng rng_;
+  std::vector<std::vector<NodeId>> ell_neighbors_;
+  std::vector<Bitset> master_;
+  std::vector<Bitset> session_;
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace latgossip

@@ -1,0 +1,60 @@
+#pragma once
+// RR Broadcast (Algorithm 2, Lemma 15): every node propagates its rumor
+// set along its overlay out-edges of latency <= k, one per round in
+// round-robin order, for k*Δout + k iterations. After that, any two
+// nodes at weighted distance <= k in G have exchanged rumors.
+//
+// The overlay is normally the oriented Baswana–Sen spanner (Theorem 14);
+// every overlay arc must be an edge of the underlying graph.
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "sim/engine.h"
+#include "util/bitset.h"
+
+namespace latgossip {
+
+class RRBroadcast {
+ public:
+  using Payload = Bitset;
+
+  /// `k` caps both which arcs are used (latency <= k) and the iteration
+  /// budget. `budget_override`, if nonzero, replaces the default
+  /// k*Δout + k iteration count.
+  RRBroadcast(const NetworkView& view, const DirectedGraph& overlay,
+              Latency k, std::vector<Bitset> initial_rumors,
+              Round budget_override = 0);
+
+  static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
+
+  std::optional<NodeId> select_contact(NodeId u, Round r);
+  Payload capture_payload(NodeId u, Round r) const;
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
+               Round now);
+  bool done(Round r) const;
+
+  Round budget() const { return budget_; }
+  const std::vector<Bitset>& rumors() const { return rumors_; }
+  std::vector<Bitset> take_rumors() { return std::move(rumors_); }
+
+ private:
+  Latency k_;
+  Round budget_ = 0;
+  std::vector<std::vector<NodeId>> out_targets_;  ///< filtered, per node
+  std::vector<Bitset> rumors_;
+};
+
+/// Fresh rumor sets where each node knows only its own id.
+std::vector<Bitset> own_id_rumors(std::size_t n);
+
+/// True iff every rumor set contains every node id.
+bool all_sets_full(const std::vector<Bitset>& rumors);
+
+/// True iff for every edge (u, v) of g both endpoints hold each other's
+/// rumor (the local broadcast goal).
+bool local_broadcast_complete(const WeightedGraph& g,
+                              const std::vector<Bitset>& rumors);
+
+}  // namespace latgossip

@@ -1,0 +1,235 @@
+#include "core/spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace latgossip {
+namespace {
+
+/// Strict-weak-order weight key making all edge weights distinct, as the
+/// algorithm requires ("we use the unique node IDs to break ties").
+struct WeightKey {
+  Latency latency;
+  NodeId lo;
+  NodeId hi;
+
+  friend bool operator<(const WeightKey& a, const WeightKey& b) {
+    if (a.latency != b.latency) return a.latency < b.latency;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  }
+};
+
+WeightKey key_of(const WeightedGraph& g, EdgeId e) {
+  const Edge& ed = g.edge(e);
+  return WeightKey{ed.latency, std::min(ed.u, ed.v), std::max(ed.u, ed.v)};
+}
+
+struct ClusterEdge {
+  WeightKey key;
+  EdgeId edge;
+  NodeId other;
+};
+
+}  // namespace
+
+DirectedGraph build_baswana_sen_spanner_capped(const WeightedGraph& g,
+                                               Latency ell,
+                                               const SpannerOptions& options,
+                                               Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  DirectedGraph spanner(n);
+  if (n == 0) return spanner;
+
+  std::size_t n_hat = options.n_hat == 0 ? n : options.n_hat;
+  if (n_hat < n)
+    throw std::invalid_argument("spanner: n_hat must be >= n");
+  std::size_t k = options.k;
+  if (k == 0)
+    k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(
+                   n_hat, 2))))));
+
+  const double sample_p =
+      std::pow(static_cast<double>(n_hat), -1.0 / static_cast<double>(k));
+
+  // center[v]: id of v's cluster center, or kInvalidNode once retired.
+  std::vector<NodeId> center(n);
+  for (NodeId v = 0; v < n; ++v) center[v] = v;
+  std::vector<bool> alive(g.num_edges(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    alive[e] = g.latency(e) <= ell;
+
+  // Per-vertex view of alive incident edges grouped by adjacent cluster,
+  // each cluster represented by its least (tie-broken) edge.
+  auto adjacent_clusters = [&](NodeId v) {
+    std::unordered_map<NodeId, ClusterEdge> by_cluster;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (!alive[h.edge]) continue;
+      const NodeId c = center[h.to];
+      if (c == kInvalidNode)
+        throw std::logic_error("spanner invariant: alive edge to retired node");
+      const ClusterEdge ce{key_of(g, h.edge), h.edge, h.to};
+      auto [it, inserted] = by_cluster.emplace(c, ce);
+      if (!inserted && ce.key < it->second.key) it->second = ce;
+    }
+    return by_cluster;
+  };
+
+  for (std::size_t iter = 1; iter < k; ++iter) {
+    // Re-sample surviving cluster centers.
+    std::unordered_set<NodeId> centers;
+    for (NodeId v = 0; v < n; ++v)
+      if (center[v] != kInvalidNode) centers.insert(center[v]);
+    std::unordered_set<NodeId> sampled;
+    for (NodeId c : centers)
+      if (rng.bernoulli(sample_p)) sampled.insert(c);
+
+    // Decide all vertices against the iteration-start snapshot, then
+    // apply (the LOCAL-model algorithm acts simultaneously).
+    std::vector<NodeId> new_center = center;
+    std::vector<EdgeId> kills;
+    std::vector<std::pair<NodeId, ClusterEdge>> additions;
+    std::vector<NodeId> kill_all_of;
+
+    for (NodeId v = 0; v < n; ++v) {
+      if (center[v] == kInvalidNode) continue;      // retired: no edges
+      if (sampled.count(center[v]) != 0) continue;  // stays put
+      auto by_cluster = adjacent_clusters(v);
+      if (by_cluster.empty()) {
+        new_center[v] = kInvalidNode;  // isolated in E': retire quietly
+        continue;
+      }
+      // Cheapest sampled adjacent cluster, if any.
+      const ClusterEdge* best_sampled = nullptr;
+      for (const auto& [c, ce] : by_cluster) {
+        if (sampled.count(c) == 0) continue;
+        if (best_sampled == nullptr || ce.key < best_sampled->key)
+          best_sampled = &ce;
+      }
+      if (best_sampled == nullptr) {
+        // Rule 1: one least edge per adjacent cluster; retire v.
+        for (const auto& [c, ce] : by_cluster) {
+          (void)c;
+          additions.emplace_back(v, ce);
+        }
+        kill_all_of.push_back(v);
+        new_center[v] = kInvalidNode;
+      } else {
+        // Rule 2: join the cheapest sampled cluster via e_v; also add the
+        // least edge to every strictly cheaper adjacent cluster.
+        additions.emplace_back(v, *best_sampled);
+        new_center[v] = center[best_sampled->other];
+        for (const auto& [c, ce] : by_cluster) {
+          const bool is_joined_cluster = (c == center[best_sampled->other]);
+          if (is_joined_cluster) {
+            // All edges between v and the joined cluster are discarded.
+            for (const HalfEdge& h : g.neighbors(v))
+              if (alive[h.edge] && center[h.to] == c) kills.push_back(h.edge);
+            continue;
+          }
+          if (ce.key < best_sampled->key) {
+            additions.emplace_back(v, ce);
+            for (const HalfEdge& h : g.neighbors(v))
+              if (alive[h.edge] && center[h.to] == c) kills.push_back(h.edge);
+          }
+        }
+      }
+    }
+
+    for (const auto& [v, ce] : additions)
+      spanner.add_arc(v, ce.other, g.latency(ce.edge));
+    for (EdgeId e : kills) alive[e] = false;
+    for (NodeId v : kill_all_of)
+      for (const HalfEdge& h : g.neighbors(v)) alive[h.edge] = false;
+    center = std::move(new_center);
+
+    // Drop intra-cluster edges under the new clustering.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!alive[e]) continue;
+      const Edge& ed = g.edge(e);
+      if (center[ed.u] != kInvalidNode && center[ed.u] == center[ed.v])
+        alive[e] = false;
+    }
+  }
+
+  // Phase 2 (iteration k): least edge to every adjacent surviving cluster.
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& [c, ce] : adjacent_clusters(v)) {
+      (void)c;
+      spanner.add_arc(v, ce.other, g.latency(ce.edge));
+    }
+  }
+  return spanner;
+}
+
+DirectedGraph build_baswana_sen_spanner(const WeightedGraph& g,
+                                        const SpannerOptions& options,
+                                        Rng& rng) {
+  const Latency cap = std::max<Latency>(g.max_latency(), 1);
+  return build_baswana_sen_spanner_capped(g, cap, options, rng);
+}
+
+DirectedGraph build_greedy_spanner(const WeightedGraph& g, std::size_t k) {
+  if (k < 1) throw std::invalid_argument("greedy spanner: k must be >= 1");
+  const std::size_t n = g.num_nodes();
+  const Latency stretch = static_cast<Latency>(2 * k - 1);
+
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return key_of(g, a) < key_of(g, b);
+  });
+
+  // Spanner adjacency kept incrementally; distances queried by a
+  // budget-capped Dijkstra whose dist array is reset lazily via the
+  // touched list (O(visited) per query).
+  constexpr Latency kFar = static_cast<Latency>(1) << 60;
+  std::vector<std::vector<Arc>> adj(n);
+  DirectedGraph spanner(n);
+  std::vector<Latency> dist(n, kFar);
+  std::vector<NodeId> touched;
+  using QItem = std::pair<Latency, NodeId>;
+
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    const Latency budget = stretch * ed.latency;
+    touched.clear();
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    dist[ed.u] = 0;
+    touched.push_back(ed.u);
+    pq.emplace(0, ed.u);
+    bool within = false;
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[v]) continue;
+      if (v == ed.v) {
+        within = true;
+        break;
+      }
+      for (const Arc& a : adj[v]) {
+        const Latency nd = d + a.latency;
+        if (nd > budget || nd >= dist[a.to]) continue;
+        if (dist[a.to] == kFar) touched.push_back(a.to);
+        dist[a.to] = nd;
+        pq.emplace(nd, a.to);
+      }
+    }
+    for (NodeId v : touched) dist[v] = kFar;
+    if (!within) {
+      adj[ed.u].push_back(Arc{ed.v, ed.latency});
+      adj[ed.v].push_back(Arc{ed.u, ed.latency});
+      spanner.add_arc(std::min(ed.u, ed.v), std::max(ed.u, ed.v),
+                      ed.latency);
+    }
+  }
+  return spanner;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,56 @@
+#pragma once
+// Baswana–Sen (2k-1)-spanner with edge orientation (Lemma 13, Theorem 14
+// and Appendix D of the paper).
+//
+// The randomized clustering algorithm runs k iterations. In iterations
+// 1..k-1 every surviving cluster is re-sampled with probability
+// n̂^{-1/k}; unsampled vertices either join the cheapest adjacent sampled
+// cluster (adding that edge plus one cheaper edge per cheaper adjacent
+// cluster — Rule 2) or, if no sampled cluster is adjacent, add one least
+// edge per adjacent cluster and retire (Rule 1). Iteration k adds the
+// least edge to every adjacent surviving cluster. Every added edge is
+// oriented out of the vertex that added it, which bounds the out-degree
+// by O(n̂^{1/k} log n) w.h.p. even when only the estimate n̂ (n <= n̂ <=
+// n^c) is known. Ties between equal latencies are broken by endpoint
+// ids, making all weights distinct as the algorithm requires.
+//
+// The paper runs this in the gossip model by first discovering the
+// k-hop neighborhood via ℓ-DTG (Theorem 14); the clustering itself is
+// then a deterministic local computation given shared randomness, which
+// is what this function performs.
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+struct SpannerOptions {
+  std::size_t k = 0;      ///< stretch parameter: (2k-1)-spanner; 0 = log2(n_hat)
+  std::size_t n_hat = 0;  ///< size estimate; 0 = exact n
+};
+
+/// Build the oriented Baswana–Sen spanner of `g`.
+DirectedGraph build_baswana_sen_spanner(const WeightedGraph& g,
+                                        const SpannerOptions& options,
+                                        Rng& rng);
+
+/// Spanner of G_ell (only edges with latency <= ell participate). Used
+/// by EID with the current diameter estimate.
+DirectedGraph build_baswana_sen_spanner_capped(const WeightedGraph& g,
+                                               Latency ell,
+                                               const SpannerOptions& options,
+                                               Rng& rng);
+
+/// Ablation baseline: the classical greedy (2k-1)-spanner (Althöfer et
+/// al.) — scan edges by increasing (tie-broken) weight and keep an edge
+/// iff the spanner's current distance between its endpoints exceeds
+/// (2k-1) times its weight. Produces the sparsest-known guaranteed
+/// (2k-1)-spanner but is inherently sequential/centralized — the paper
+/// needs Baswana-Sen because it localizes to k-hop neighborhoods.
+/// Arcs are oriented from the lower to the higher endpoint id.
+DirectedGraph build_greedy_spanner(const WeightedGraph& g, std::size_t k);
+
+}  // namespace latgossip

@@ -1,0 +1,65 @@
+#include "core/termination.h"
+
+#include <stdexcept>
+
+namespace latgossip {
+
+CheckOutcome run_termination_check(const WeightedGraph& g,
+                                   const std::vector<Bitset>& rumors,
+                                   const HeardSetsFn& broadcast) {
+  const std::size_t n = g.num_nodes();
+  if (rumors.size() != n)
+    throw std::invalid_argument("termination check: rumor size mismatch");
+
+  // Freeze fingerprints and flags (Algorithm 1 lines 1-3).
+  std::vector<std::uint64_t> fingerprint(n);
+  std::vector<bool> flag(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    fingerprint[v] = rumors[v].hash();
+    for (const HalfEdge& h : g.neighbors(v))
+      if (!rumors[v].test(h.to)) {
+        flag[v] = true;
+        break;
+      }
+  }
+
+  CheckOutcome out;
+
+  // Pass 1: broadcast and gather; a node fails if any reachable node has
+  // a different rumor set or a raised flag (lines 4-6).
+  auto [heard1, sim1] = broadcast();
+  out.sim.accumulate(sim1);
+  std::vector<bool> bad(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    if (heard1[v].size() != n)
+      throw std::invalid_argument("termination check: heard-set mismatch");
+    for (std::size_t u = heard1[v].find_first(); u < n;
+         u = heard1[v].find_next(u + 1)) {
+      if (fingerprint[u] != fingerprint[v] || flag[u]) {
+        bad[v] = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: propagate the "failed" verdict (lines 7-9).
+  auto [heard2, sim2] = broadcast();
+  out.sim.accumulate(sim2);
+  std::vector<bool> failed(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    failed[v] = bad[v];
+    for (std::size_t u = heard2[v].find_first(); u < n && !failed[v];
+         u = heard2[v].find_next(u + 1))
+      if (bad[u]) failed[v] = true;
+  }
+
+  out.failed = false;
+  out.unanimous = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (failed[v]) out.failed = true;
+    if (failed[v] != failed[0]) out.unanimous = false;
+  }
+  return out;
+}
+
+}  // namespace latgossip

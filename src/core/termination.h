@@ -1,0 +1,45 @@
+#pragma once
+// Termination Check (Algorithm 1, Section 5.3, Lemma 18).
+//
+// After a dissemination attempt with diameter estimate k, every node v
+// raises a flag when some graph neighbor is missing from its rumor set.
+// A first broadcast-and-gather within k-distance neighborhoods lets each
+// node compare its (frozen) rumor-set fingerprint and flag against all
+// nodes it can reach; a second pass propagates the resulting "failed"
+// verdict so that all nodes agree (Lemma 18: no node terminates before
+// exchanging rumors with everyone, and all nodes decide in the same
+// round).
+//
+// The broadcast primitive is pluggable ("any broadcast algorithm that
+// can broadcast and collect back information from all nodes at distance
+// <= k can be used"): General EID passes RR Broadcast on its spanner,
+// Path Discovery passes the T(k) DTG sequence. A primitive run reports
+// which node ids reached each node; the check's comparison data flows
+// along exactly those delivery paths.
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/metrics.h"
+#include "util/bitset.h"
+
+namespace latgossip {
+
+/// One fresh broadcast pass: returns per-node heard-from sets (own id
+/// included) and the rounds it consumed.
+using HeardSetsFn = std::function<std::pair<std::vector<Bitset>, SimResult>()>;
+
+struct CheckOutcome {
+  bool failed = false;     ///< some node decided "failed"
+  bool unanimous = false;  ///< all nodes reached the same verdict (Lemma 18)
+  SimResult sim;           ///< rounds/messages of the two broadcast passes
+};
+
+/// Run the check for estimate k against the current rumor sets.
+CheckOutcome run_termination_check(const WeightedGraph& g,
+                                   const std::vector<Bitset>& rumors,
+                                   const HeardSetsFn& broadcast);
+
+}  // namespace latgossip

@@ -1,0 +1,110 @@
+#include "core/tk_schedule.h"
+
+#include <stdexcept>
+
+#include "core/dtg.h"
+#include "core/rr_broadcast.h"
+#include "core/termination.h"
+#include "sim/engine.h"
+
+namespace latgossip {
+
+Latency next_power_of_two(Latency k) {
+  if (k < 1) throw std::invalid_argument("next_power_of_two: k must be >= 1");
+  Latency p = 1;
+  while (p < k) p *= 2;
+  return p;
+}
+
+std::vector<Latency> tk_pattern(Latency k) {
+  if (k < 1) throw std::invalid_argument("tk_pattern: k must be >= 1");
+  if ((k & (k - 1)) != 0)
+    throw std::invalid_argument("tk_pattern: k must be a power of two");
+  if (k == 1) return {1};
+  std::vector<Latency> half = tk_pattern(k / 2);
+  std::vector<Latency> out = half;
+  out.push_back(k);
+  out.insert(out.end(), half.begin(), half.end());
+  return out;
+}
+
+namespace {
+
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t k = 0;
+  std::size_t pow = 1;
+  while (pow < x) {
+    pow *= 2;
+    ++k;
+  }
+  return k < 1 ? 1 : k;
+}
+
+/// Run one ℓ-DTG pass over persistent rumor sets.
+SimResult dtg_pass(const WeightedGraph& g, Latency ell,
+                   std::vector<Bitset>& rumors) {
+  NetworkView view(g, /*latencies_known=*/true);
+  DtgLocalBroadcast dtg(view, ell, std::move(rumors));
+  SimOptions opts;
+  // DTG acts only on superround boundaries; disable idle-stop.
+  opts.stop_when_idle = false;
+  const auto logn = static_cast<Round>(ceil_log2(g.num_nodes()) + 2);
+  opts.max_rounds = static_cast<Round>(ell) * 64 * logn * logn;
+  const SimResult sim = run_gossip(g, dtg, opts);
+  rumors = dtg.take_rumors();
+  return sim;
+}
+
+}  // namespace
+
+TkOutcome run_tk_schedule(const WeightedGraph& g, Latency k,
+                          std::vector<Bitset> initial_rumors) {
+  const std::size_t n = g.num_nodes();
+  if (initial_rumors.size() != n)
+    throw std::invalid_argument("T(k): rumor vector size mismatch");
+  TkOutcome out;
+  out.rumors = std::move(initial_rumors);
+  for (Latency ell : tk_pattern(next_power_of_two(k)))
+    out.sim.accumulate(dtg_pass(g, ell, out.rumors));
+  out.all_to_all = all_sets_full(out.rumors);
+  return out;
+}
+
+PathDiscoveryOutcome run_path_discovery(const WeightedGraph& g) {
+  const std::size_t n = g.num_nodes();
+  PathDiscoveryOutcome out;
+  out.rumors = own_id_rumors(n);
+  if (n <= 1) {
+    out.success = true;
+    out.final_estimate = 1;
+    return out;
+  }
+  const Latency k_limit =
+      2 * static_cast<Latency>(n) * std::max<Latency>(g.max_latency(), 1);
+
+  for (Latency k = 1; k <= k_limit; k *= 2) {
+    ++out.attempts;
+    TkOutcome attempt = run_tk_schedule(g, k, std::move(out.rumors));
+    out.sim.accumulate(attempt.sim);
+    out.rumors = std::move(attempt.rumors);
+
+    // Termination Check with T(k) as the broadcast primitive.
+    auto broadcast = [&]() {
+      TkOutcome pass = run_tk_schedule(g, k, own_id_rumors(n));
+      return std::make_pair(std::move(pass.rumors), pass.sim);
+    };
+    const CheckOutcome check = run_termination_check(g, out.rumors, broadcast);
+    out.sim.accumulate(check.sim);
+    if (!check.unanimous) out.checks_unanimous = false;
+    if (!check.failed) {
+      out.success = true;
+      out.final_estimate = k;
+      return out;
+    }
+  }
+  out.success = false;
+  out.final_estimate = k_limit;
+  return out;
+}
+
+}  // namespace latgossip

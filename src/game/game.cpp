@@ -1,0 +1,52 @@
+#include "game/game.h"
+
+#include <stdexcept>
+
+namespace latgossip {
+
+GuessingGame::GuessingGame(std::size_t m, const TargetSet& target) : m_(m) {
+  if (m < 1) throw std::invalid_argument("game: m must be >= 1");
+  for (const auto& [a, b] : target) {
+    if (a >= m || b >= m)
+      throw std::invalid_argument("game: target pair out of range");
+    if (target_.insert(pack(a, b)).second) {
+      by_b_[b].push_back(a);
+      ++remaining_;
+    }
+  }
+  initial_size_ = remaining_;
+}
+
+std::vector<GuessPair> GuessingGame::submit_round(
+    const std::vector<GuessPair>& guesses) {
+  if (solved()) throw std::logic_error("game: already solved");
+  if (guesses.size() > max_guesses_per_round())
+    throw std::invalid_argument("game: more than 2m guesses in a round");
+  ++rounds_;
+  total_guesses_ += guesses.size();
+
+  // Reveal hits against the *current* target.
+  std::vector<GuessPair> hits;
+  std::unordered_set<std::size_t> hit_bs;
+  for (const auto& [a, b] : guesses) {
+    if (a >= m_ || b >= m_)
+      throw std::invalid_argument("game: guess out of range");
+    if (target_.count(pack(a, b)) != 0) {
+      hits.emplace_back(a, b);
+      hit_bs.insert(b);
+    }
+  }
+
+  // Update rule (2): drop every target pair whose B-component was hit.
+  for (std::size_t b : hit_bs) {
+    auto it = by_b_.find(b);
+    if (it == by_b_.end()) continue;
+    for (std::size_t a : it->second) {
+      if (target_.erase(pack(a, b)) != 0) --remaining_;
+    }
+    by_b_.erase(it);
+  }
+  return hits;
+}
+
+}  // namespace latgossip

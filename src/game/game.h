@@ -1,0 +1,58 @@
+#pragma once
+// The combinatorial guessing game Guessing(2m, P) of Section 3.1.
+//
+// Alice faces an oracle holding a hidden target set T ⊆ A × B (|A| =
+// |B| = m, produced by a predicate P, e.g. a uniform singleton or
+// Random_p). Each round she submits at most 2m guessed pairs; the oracle
+// reveals the guesses that hit the current target, then removes from the
+// target every pair whose B-component was hit this round (update rule
+// (2)). The game is solved when the target set becomes empty; the lower
+// bounds (Lemmas 4 and 5) state how many rounds that takes.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/gadgets.h"  // TargetSet
+
+namespace latgossip {
+
+using GuessPair = std::pair<std::size_t, std::size_t>;
+
+class GuessingGame {
+ public:
+  /// `target` entries are (a, b) with a, b in [0, m).
+  GuessingGame(std::size_t m, const TargetSet& target);
+
+  std::size_t m() const { return m_; }
+  std::size_t max_guesses_per_round() const { return 2 * m_; }
+
+  /// Play one round: submit guesses (at most 2m; duplicates allowed and
+  /// counted once), receive the hits, and let the oracle apply update
+  /// rule (2). Throws if the game is already solved.
+  std::vector<GuessPair> submit_round(const std::vector<GuessPair>& guesses);
+
+  bool solved() const { return remaining_ == 0; }
+  std::size_t rounds_played() const { return rounds_; }
+  std::size_t target_remaining() const { return remaining_; }
+  std::size_t initial_target_size() const { return initial_size_; }
+  std::size_t total_guesses() const { return total_guesses_; }
+
+ private:
+  static std::uint64_t pack(std::size_t a, std::size_t b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::size_t m_;
+  std::unordered_set<std::uint64_t> target_;
+  /// b -> a-components of surviving target pairs with that b.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_b_;
+  std::size_t remaining_ = 0;
+  std::size_t initial_size_ = 0;
+  std::size_t rounds_ = 0;
+  std::size_t total_guesses_ = 0;
+};
+
+}  // namespace latgossip

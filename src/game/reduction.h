@@ -1,0 +1,42 @@
+#pragma once
+// The gossip → guessing-game reduction of Lemma 3.
+//
+// Running any local-broadcast algorithm on the gadget G(P) / Gsym(P)
+// induces a guessing-game protocol: every activation of a cross edge
+// (v_i, u_j) in a simulation round is one of Alice's round guesses; the
+// oracle's answer reveals whether the edge is fast (in the target set).
+// Consequently the algorithm cannot finish local broadcast before the
+// game is solved — measured here by driving the real simulator and
+// feeding its cross-edge activations into the oracle round by round.
+
+#include <optional>
+
+#include "graph/gadgets.h"
+#include "game/game.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+struct ReductionResult {
+  SimResult sim;                 ///< the gossip run itself
+  bool broadcast_completed = false;
+  std::size_t cross_activations = 0;   ///< guesses submitted in total
+  /// First simulation round whose guesses emptied the target set, if the
+  /// game was solved during the run.
+  std::optional<Round> game_solved_round;
+};
+
+/// Which protocol to simulate on the gadget.
+enum class ReductionProtocol {
+  kPushPull,   ///< random phone call (the Lemma 5 "random guessing" shape)
+  kFlooding,   ///< deterministic round-robin baseline
+};
+
+/// Run local broadcast on the gadget with the given protocol while
+/// playing the induced guessing game against the oracle.
+ReductionResult run_gadget_reduction(const GuessingGadget& gadget,
+                                     ReductionProtocol protocol, Rng rng,
+                                     Round max_rounds);
+
+}  // namespace latgossip

@@ -1,0 +1,72 @@
+#include "game/strategies.h"
+
+namespace latgossip {
+
+std::vector<GuessPair> RandomPerSideStrategy::next_guesses(std::size_t) {
+  std::vector<GuessPair> guesses;
+  guesses.reserve(2 * m_);
+  for (std::size_t a = 0; a < m_; ++a)
+    guesses.emplace_back(a, rng_.uniform(m_));
+  for (std::size_t b = 0; b < m_; ++b)
+    guesses.emplace_back(rng_.uniform(m_), b);
+  return guesses;
+}
+
+std::vector<GuessPair> SystematicSweepStrategy::next_guesses(std::size_t) {
+  std::vector<GuessPair> guesses;
+  const std::size_t total = m_ * m_;
+  for (std::size_t i = 0; i < 2 * m_ && cursor_ < total; ++i, ++cursor_)
+    guesses.emplace_back(cursor_ / m_, cursor_ % m_);
+  if (guesses.empty()) cursor_ = 0;  // wrap (only relevant past one sweep)
+  return guesses;
+}
+
+AdaptiveCouponStrategy::AdaptiveCouponStrategy(std::size_t m)
+    : m_(m), eliminated_(m, false), next_a_(m, 0), live_count_(m) {}
+
+std::vector<GuessPair> AdaptiveCouponStrategy::next_guesses(std::size_t) {
+  std::vector<GuessPair> guesses;
+  if (live_count_ == 0) return guesses;
+  const std::size_t budget = 2 * m_;
+  // Spread the budget over the still-live B elements, advancing each
+  // one's fresh-a cursor; never re-guess a pair.
+  std::size_t made = 0;
+  bool progress = true;
+  while (made < budget && progress) {
+    progress = false;
+    for (std::size_t b = 0; b < m_ && made < budget; ++b) {
+      if (eliminated_[b] || next_a_[b] >= m_) continue;
+      guesses.emplace_back(next_a_[b]++, b);
+      ++made;
+      progress = true;
+    }
+  }
+  return guesses;
+}
+
+void AdaptiveCouponStrategy::observe(const std::vector<GuessPair>&,
+                                     const std::vector<GuessPair>& hits) {
+  for (const auto& [a, b] : hits) {
+    (void)a;
+    if (!eliminated_[b]) {
+      eliminated_[b] = true;
+      --live_count_;
+    }
+  }
+}
+
+PlayResult play_game(GuessingGame& game, Strategy& strategy,
+                     std::size_t max_rounds) {
+  PlayResult result;
+  while (!game.solved() && result.rounds < max_rounds) {
+    const auto guesses = strategy.next_guesses(result.rounds);
+    const auto hits = game.submit_round(guesses);
+    strategy.observe(guesses, hits);
+    ++result.rounds;
+    result.guesses += guesses.size();
+  }
+  result.solved = game.solved();
+  return result;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,82 @@
+#pragma once
+// Alice strategies for Guessing(2m, P) and a driver that plays a
+// strategy against the oracle.
+//
+//  * RandomPerSideStrategy — Lemma 5's oblivious protocol: each round,
+//    one uniformly random b for every a ∈ A and one uniformly random a
+//    for every b ∈ B (exactly what push-pull induces through the
+//    reduction). Needs Θ(log m / p) rounds on Random_p.
+//  * SystematicSweepStrategy — enumerate all m² pairs in row-major
+//    order, 2m per round; the natural deterministic baseline.
+//  * AdaptiveCouponStrategy — remembers revealed hits and never repeats
+//    a guess nor aims at an already-eliminated B element; close to the
+//    general-protocol optimum of Ω(1/p) rounds on Random_p and Ω(m) on
+//    a singleton.
+
+#include <memory>
+#include <vector>
+
+#include "game/game.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  /// Produce this round's guesses (at most 2m).
+  virtual std::vector<GuessPair> next_guesses(std::size_t round) = 0;
+  /// Feedback: which of the previous guesses hit.
+  virtual void observe(const std::vector<GuessPair>& guesses,
+                       const std::vector<GuessPair>& hits) = 0;
+};
+
+class RandomPerSideStrategy final : public Strategy {
+ public:
+  RandomPerSideStrategy(std::size_t m, Rng rng) : m_(m), rng_(rng) {}
+  std::vector<GuessPair> next_guesses(std::size_t round) override;
+  void observe(const std::vector<GuessPair>&,
+               const std::vector<GuessPair>&) override {}
+
+ private:
+  std::size_t m_;
+  Rng rng_;
+};
+
+class SystematicSweepStrategy final : public Strategy {
+ public:
+  explicit SystematicSweepStrategy(std::size_t m) : m_(m) {}
+  std::vector<GuessPair> next_guesses(std::size_t round) override;
+  void observe(const std::vector<GuessPair>&,
+               const std::vector<GuessPair>&) override {}
+
+ private:
+  std::size_t m_;
+  std::size_t cursor_ = 0;
+};
+
+class AdaptiveCouponStrategy final : public Strategy {
+ public:
+  explicit AdaptiveCouponStrategy(std::size_t m);
+  std::vector<GuessPair> next_guesses(std::size_t round) override;
+  void observe(const std::vector<GuessPair>& guesses,
+               const std::vector<GuessPair>& hits) override;
+
+ private:
+  std::size_t m_;
+  std::vector<bool> eliminated_;      ///< b already hit
+  std::vector<std::size_t> next_a_;   ///< per b: next unguessed a
+  std::size_t live_count_;
+};
+
+struct PlayResult {
+  std::size_t rounds = 0;
+  std::size_t guesses = 0;
+  bool solved = false;
+};
+
+/// Drive a strategy until the game is solved or max_rounds elapse.
+PlayResult play_game(GuessingGame& game, Strategy& strategy,
+                     std::size_t max_rounds);
+
+}  // namespace latgossip

@@ -1,0 +1,21 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace latgossip {
+
+WeightedGraph DirectedGraph::to_undirected() const {
+  WeightedGraph g(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Arc& a : out_[u]) {
+      if (auto e = g.find_edge(u, a.to)) {
+        if (a.latency < g.latency(*e)) g.set_latency(*e, a.latency);
+      } else {
+        g.add_edge(u, a.to, a.latency);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace latgossip

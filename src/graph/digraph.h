@@ -1,0 +1,66 @@
+#pragma once
+// Directed graph with latencies — used for the oriented spanner that the
+// EID algorithm builds (Section 5, Theorem 14): the Baswana–Sen spanner
+// is produced with an orientation such that every node has O(log n)
+// out-degree, and RR Broadcast activates out-edges round-robin.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace latgossip {
+
+struct Arc {
+  NodeId to = kInvalidNode;
+  Latency latency = 1;
+};
+
+class DirectedGraph {
+ public:
+  explicit DirectedGraph(std::size_t n) : out_(n) {}
+
+  std::size_t num_nodes() const noexcept { return out_.size(); }
+  std::size_t num_arcs() const noexcept { return arc_count_; }
+
+  void add_arc(NodeId from, NodeId to, Latency latency) {
+    check_node(from);
+    check_node(to);
+    if (from == to) throw std::invalid_argument("self-loop arc");
+    if (latency < 1) throw std::invalid_argument("latency must be >= 1");
+    out_[from].push_back(Arc{to, latency});
+    ++arc_count_;
+  }
+
+  std::span<const Arc> out_arcs(NodeId u) const {
+    check_node(u);
+    return out_[u];
+  }
+
+  std::size_t out_degree(NodeId u) const {
+    check_node(u);
+    return out_[u].size();
+  }
+
+  std::size_t max_out_degree() const noexcept {
+    std::size_t d = 0;
+    for (const auto& a : out_) d = d > a.size() ? d : a.size();
+    return d;
+  }
+
+  /// The underlying undirected weighted graph (arc directions dropped,
+  /// parallel/opposite arcs collapsed keeping the smaller latency).
+  WeightedGraph to_undirected() const;
+
+ private:
+  void check_node(NodeId u) const {
+    if (u >= out_.size()) throw std::out_of_range("node id out of range");
+  }
+
+  std::vector<std::vector<Arc>> out_;
+  std::size_t arc_count_ = 0;
+};
+
+}  // namespace latgossip

@@ -1,0 +1,158 @@
+#include "graph/gadgets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latgossip {
+
+TargetSet make_singleton_target(std::size_t m, Rng& rng) {
+  if (m == 0) throw std::invalid_argument("target: m must be >= 1");
+  return {{rng.uniform(m), rng.uniform(m)}};
+}
+
+TargetSet make_random_p_target(std::size_t m, double p, Rng& rng) {
+  if (m == 0) throw std::invalid_argument("target: m must be >= 1");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("target: p out of [0,1]");
+  TargetSet t;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      if (rng.bernoulli(p)) t.emplace_back(i, j);
+  return t;
+}
+
+GuessingGadget make_guessing_gadget(std::size_t m, TargetSet target,
+                                    Latency fast_latency,
+                                    Latency slow_latency, bool symmetric) {
+  if (m < 2) throw std::invalid_argument("gadget: m must be >= 2");
+  if (fast_latency < 1 || slow_latency < fast_latency)
+    throw std::invalid_argument("gadget: need 1 <= fast <= slow");
+  GuessingGadget gg{WeightedGraph(2 * m), m,       symmetric,
+                    fast_latency,         slow_latency, std::move(target)};
+  for (const auto& [i, j] : gg.target)
+    if (i >= m || j >= m)
+      throw std::invalid_argument("gadget: target index out of range");
+
+  // Cross edges first (row-major) so edge id of (i, j) is i*m + j.
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      gg.graph.add_edge(gg.left(i), gg.right(j), slow_latency);
+  for (const auto& [i, j] : gg.target)
+    gg.graph.set_latency(gg.cross_edge(i, j), fast_latency);
+
+  // Clique on L (always) and on R (symmetric variant), latency 1.
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = i + 1; j < m; ++j)
+      gg.graph.add_edge(gg.left(i), gg.left(j), 1);
+  if (symmetric)
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = i + 1; j < m; ++j)
+        gg.graph.add_edge(gg.right(i), gg.right(j), 1);
+  return gg;
+}
+
+Theorem6Network make_theorem6_network(std::size_t n, std::size_t delta,
+                                      Rng& rng) {
+  if (delta < 2) throw std::invalid_argument("thm6: delta must be >= 2");
+  if (n < 2 * delta)
+    throw std::invalid_argument("thm6: need n >= 2*delta");
+  // Gadget G(2*delta, |T|=1): m = delta per side; slow latency = n as in
+  // the paper ("all other cross edges are assigned latency n").
+  auto gadget = make_guessing_gadget(
+      delta, make_singleton_target(delta, rng), /*fast=*/1,
+      /*slow=*/static_cast<Latency>(n), /*symmetric=*/false);
+
+  Theorem6Network net{WeightedGraph(n), std::move(gadget), delta};
+  // Copy gadget edges into the n-node graph (same node ids 0..2delta-1).
+  for (const Edge& e : net.gadget_info.graph.edges())
+    net.graph.add_edge(e.u, e.v, e.latency);
+  // Clique on the remaining n - 2*delta nodes, one of which attaches to
+  // gadget node 0 (a left vertex).
+  const auto first_clique = static_cast<NodeId>(2 * delta);
+  for (NodeId i = first_clique; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) net.graph.add_edge(i, j, 1);
+  if (first_clique < n) net.graph.add_edge(first_clique, 0, 1);
+  return net;
+}
+
+Theorem7Network make_theorem7_network(std::size_t n, Latency ell, double phi,
+                                      Rng& rng) {
+  if (n < 2) throw std::invalid_argument("thm7: n must be >= 2");
+  if (ell < 1 || static_cast<std::size_t>(ell) > n)
+    throw std::invalid_argument("thm7: need 1 <= ell <= n");
+  if (phi <= 0.0 || phi > 0.5)
+    throw std::invalid_argument("thm7: need 0 < phi <= 1/2");
+  const auto slow = static_cast<Latency>(n);
+  if (ell >= slow)
+    throw std::invalid_argument("thm7: ell must be < n (the slow latency)");
+  Theorem7Network net{
+      make_guessing_gadget(n, make_random_p_target(n, phi, rng),
+                           /*fast=*/ell, /*slow=*/slow, /*symmetric=*/false),
+      ell, phi};
+  return net;
+}
+
+double LayeredRing::analytic_phi_ell_cut() const {
+  const double s = static_cast<double>(layer_size);
+  const double total = static_cast<double>(num_layers * layer_size);
+  // Halving cut that splits the ring into two contiguous arcs cuts two
+  // layer boundaries: 2 s^2 bipartite edges of latency <= cross_latency.
+  return 2.0 * s * s / ((total / 2.0) * (3.0 * s - 1.0));
+}
+
+LayeredRing make_layered_ring(std::size_t num_layers, std::size_t layer_size,
+                              Latency cross_latency, Rng& rng) {
+  if (num_layers < 3)
+    throw std::invalid_argument("ring: need >= 3 layers");
+  if (layer_size < 2)
+    throw std::invalid_argument("ring: layer size must be >= 2");
+  if (cross_latency < 1)
+    throw std::invalid_argument("ring: cross latency must be >= 1");
+  LayeredRing ring{WeightedGraph(num_layers * layer_size), num_layers,
+                   layer_size, cross_latency,              {}};
+  // Cliques within each layer, latency 1.
+  for (std::size_t a = 0; a < num_layers; ++a)
+    for (std::size_t i = 0; i < layer_size; ++i)
+      for (std::size_t j = i + 1; j < layer_size; ++j)
+        ring.graph.add_edge(ring.node(a, i), ring.node(a, j), 1);
+  // Complete bipartite gadget between consecutive layers; one uniformly
+  // random fast (latency 1) cross edge per pair, the rest cross_latency.
+  ring.fast_cross_edges.reserve(num_layers);
+  for (std::size_t a = 0; a < num_layers; ++a) {
+    const std::size_t b = (a + 1) % num_layers;
+    const std::size_t fi = rng.uniform(layer_size);
+    const std::size_t fj = rng.uniform(layer_size);
+    EdgeId fast = kInvalidEdge;
+    for (std::size_t i = 0; i < layer_size; ++i)
+      for (std::size_t j = 0; j < layer_size; ++j) {
+        const bool is_fast = (i == fi && j == fj);
+        const EdgeId e = ring.graph.add_edge(
+            ring.node(a, i), ring.node(b, j),
+            is_fast ? Latency{1} : cross_latency);
+        if (is_fast) fast = e;
+      }
+    ring.fast_cross_edges.push_back(fast);
+  }
+  return ring;
+}
+
+LayeredRing make_theorem8_network(std::size_t n, double alpha, Latency ell,
+                                  Rng& rng) {
+  if (n < 8) throw std::invalid_argument("thm8: n too small");
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("thm8: alpha out of (0,1]");
+  const double na = static_cast<double>(n) * alpha;
+  if (na < 2.0)
+    throw std::invalid_argument("thm8: n*alpha must be >= 2");
+  const double c = 0.75 + 0.25 * std::sqrt(std::max(0.0, 9.0 - 8.0 / na));
+  auto layer_size = static_cast<std::size_t>(std::lround(c * na));
+  layer_size = std::max<std::size_t>(layer_size, 2);
+  auto num_layers =
+      static_cast<std::size_t>(std::lround(2.0 / (c * alpha)));
+  // Force an even layer count >= 4 so the Lemma 9 halving cut exists.
+  if (num_layers % 2 != 0) ++num_layers;
+  num_layers = std::max<std::size_t>(num_layers, 4);
+  return make_layered_ring(num_layers, layer_size, ell, rng);
+}
+
+}  // namespace latgossip

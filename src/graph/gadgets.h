@@ -1,0 +1,120 @@
+#pragma once
+// The paper's lower-bound constructions (Section 3).
+//
+// * GuessingGadget — the bipartite gadget G(P) / Gsym(P) of Section 3.2
+//   and Figure 1: a complete bipartite graph on L x R, a clique on L
+//   (and on R for the symmetric variant), all clique edges latency 1;
+//   cross edges in the hidden target set T are "fast" and all other
+//   cross edges are "slow".
+// * Theorem6Network — gadget G(2Δ, |T|=1) glued to a clique of the
+//   remaining n - 2Δ nodes (proof of Theorem 6).
+// * Theorem7Network — G(Random_φ) on 2n nodes with fast latency ℓ and
+//   slow latency n (proof of Theorem 7).
+// * LayeredRing — k layers wired in a ring via symmetric gadgets, one
+//   random fast cross edge per adjacent layer pair (Theorem 8, Fig. 2).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+/// A target set for the guessing gadget: pairs (i, j) meaning the cross
+/// edge from left node i to right node j is fast. Indices in [0, m).
+using TargetSet = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// |T| = 1: a single uniformly random pair (Lemma 4 / Theorem 6).
+TargetSet make_singleton_target(std::size_t m, Rng& rng);
+
+/// Random_p: each of the m^2 pairs included independently w.p. p
+/// (Lemma 5 / Theorem 7).
+TargetSet make_random_p_target(std::size_t m, double p, Rng& rng);
+
+/// The constructed gadget, with the bookkeeping the reduction needs.
+struct GuessingGadget {
+  WeightedGraph graph;   ///< 2m nodes: left 0..m-1, right m..2m-1
+  std::size_t m = 0;
+  bool symmetric = false;
+  Latency fast_latency = 1;
+  Latency slow_latency = 1;
+  TargetSet target;
+
+  NodeId left(std::size_t i) const { return static_cast<NodeId>(i); }
+  NodeId right(std::size_t j) const { return static_cast<NodeId>(m + j); }
+
+  /// Cross edges are added first, in row-major order, so their edge id
+  /// is i*m + j by construction.
+  EdgeId cross_edge(std::size_t i, std::size_t j) const {
+    return static_cast<EdgeId>(i * m + j);
+  }
+  bool is_cross_edge(EdgeId e) const { return e < m * m; }
+  /// Inverse of cross_edge.
+  std::pair<std::size_t, std::size_t> cross_pair(EdgeId e) const {
+    return {e / m, e % m};
+  }
+};
+
+/// Build G(P) (symmetric=false) or Gsym(P) (symmetric=true) for a given
+/// target set. Cross edges in `target` get `fast_latency`; all others
+/// get `slow_latency`; clique edges get latency 1.
+GuessingGadget make_guessing_gadget(std::size_t m, TargetSet target,
+                                    Latency fast_latency,
+                                    Latency slow_latency, bool symmetric);
+
+/// Theorem 6: an n-node network with weighted diameter O(1), constant
+/// unweighted conductance and max degree Θ(Δ) on which local broadcast
+/// needs Ω(Δ) rounds. Gadget G(2Δ, |T|=1) plus a clique on the other
+/// n - 2Δ nodes attached by one edge.
+struct Theorem6Network {
+  WeightedGraph graph;
+  GuessingGadget gadget_info;  ///< graph member unused; indices refer to `graph`
+  std::size_t delta = 0;       ///< the Δ parameter
+};
+Theorem6Network make_theorem6_network(std::size_t n, std::size_t delta,
+                                      Rng& rng);
+
+/// Theorem 7: 2n nodes, weighted diameter O(ℓ) whp, weighted conductance
+/// Θ(φ) whp. G(Random_φ) with fast latency ℓ, slow latency n.
+struct Theorem7Network {
+  GuessingGadget gadget;  ///< gadget.graph is the network
+  Latency ell = 1;
+  double phi = 0.0;
+};
+Theorem7Network make_theorem7_network(std::size_t n, Latency ell, double phi,
+                                      Rng& rng);
+
+/// Theorem 8 layered ring (Figure 2): `num_layers` layers of `layer_size`
+/// nodes; each layer is a latency-1 clique; adjacent layers are joined by
+/// a complete bipartite gadget whose cross edges have latency
+/// `cross_latency` except one uniformly random fast (latency 1) edge.
+struct LayeredRing {
+  WeightedGraph graph;
+  std::size_t num_layers = 0;
+  std::size_t layer_size = 0;
+  Latency cross_latency = 1;
+  /// The hidden fast cross edge between layer i and layer i+1 (mod k).
+  std::vector<EdgeId> fast_cross_edges;
+
+  NodeId node(std::size_t layer, std::size_t index) const {
+    return static_cast<NodeId>(layer * layer_size + index);
+  }
+  std::size_t layer_of(NodeId v) const { return v / layer_size; }
+
+  /// Closed-form weight-ℓ conductance of the halving cut C of Lemma 9,
+  /// generalized to the direct (k, s) parameterization:
+  /// phi_ell(C) = 2 s^2 / Vol(half) with Vol(half) = (N/2)(3s - 1).
+  double analytic_phi_ell_cut() const;
+};
+LayeredRing make_layered_ring(std::size_t num_layers, std::size_t layer_size,
+                              Latency cross_latency, Rng& rng);
+
+/// The paper's (n, alpha, ell) parameterization of the ring (Theorem 8):
+/// c = 3/4 + (1/4)sqrt(9 - 8/(n*alpha)), k = 2/(c*alpha) layers of
+/// s = c*n*alpha nodes, rounded to integers (k forced even and >= 4).
+LayeredRing make_theorem8_network(std::size_t n, double alpha, Latency ell,
+                                  Rng& rng);
+
+}  // namespace latgossip

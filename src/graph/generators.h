@@ -1,0 +1,91 @@
+#pragma once
+// Standard graph generators. All produce unit-latency edges; latency
+// models (latency_models.h) or gadget constructions assign weights.
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+/// Path v0 - v1 - ... - v_{n-1}.
+WeightedGraph make_path(std::size_t n);
+
+/// Cycle on n >= 3 nodes.
+WeightedGraph make_cycle(std::size_t n);
+
+/// Star: node 0 is the hub, nodes 1..n-1 are leaves.
+WeightedGraph make_star(std::size_t n);
+
+/// Complete graph K_n.
+WeightedGraph make_clique(std::size_t n);
+
+/// Complete bipartite graph K_{a,b}: left nodes 0..a-1, right a..a+b-1.
+WeightedGraph make_complete_bipartite(std::size_t a, std::size_t b);
+
+/// rows x cols grid; wrap = torus.
+WeightedGraph make_grid(std::size_t rows, std::size_t cols, bool wrap = false);
+
+/// d-dimensional hypercube (2^d nodes).
+WeightedGraph make_hypercube(std::size_t dim);
+
+/// Complete binary tree with n nodes (heap ordering: children 2i+1, 2i+2).
+WeightedGraph make_binary_tree(std::size_t n);
+
+/// Erdos–Renyi G(n, p), conditioned on connectivity by retry (up to
+/// `max_attempts`); throws if no connected sample is found.
+WeightedGraph make_erdos_renyi(std::size_t n, double p, Rng& rng,
+                               int max_attempts = 64);
+
+/// Random d-regular graph via the configuration/pairing model with
+/// rejection of self-loops/multi-edges; conditioned on connectivity.
+/// Requires n*d even, d < n.
+WeightedGraph make_random_regular(std::size_t n, std::size_t d, Rng& rng,
+                                  int max_attempts = 256);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta; conditioned connected.
+WeightedGraph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                  Rng& rng, int max_attempts = 64);
+
+/// Random geometric graph: n points uniform in the unit square, edge if
+/// distance <= radius; conditioned connected. Out-param `coords` (if
+/// non-null) receives the points as (x, y) pairs — examples use them to
+/// derive distance-based latencies.
+WeightedGraph make_random_geometric(std::size_t n, double radius, Rng& rng,
+                                    std::vector<std::pair<double, double>>*
+                                        coords = nullptr,
+                                    int max_attempts = 64);
+
+/// `num_cliques` cliques of `clique_size` nodes each, arranged in a ring;
+/// consecutive cliques joined by a single bridge edge of latency
+/// `bridge_latency`. A classic low-conductance family.
+WeightedGraph make_ring_of_cliques(std::size_t num_cliques,
+                                   std::size_t clique_size,
+                                   Latency bridge_latency = 1);
+
+/// Two cliques of `clique_size` joined by a path of `path_len` edges of
+/// latency `path_latency` (the "dumbbell"; worst case for conductance).
+WeightedGraph make_dumbbell(std::size_t clique_size, std::size_t path_len,
+                            Latency path_latency = 1);
+
+/// Barabasi–Albert preferential attachment: start from a small clique
+/// of `attach` nodes; each new node attaches to `attach` distinct
+/// existing nodes picked proportionally to degree. Heavy-tailed degree
+/// distribution (the "social network" regime of Doerr et al. cited in
+/// the related work).
+WeightedGraph make_barabasi_albert(std::size_t n, std::size_t attach,
+                                   Rng& rng);
+
+/// Complete b-ary tree with n nodes (children of i: b*i+1 .. b*i+b).
+WeightedGraph make_kary_tree(std::size_t n, std::size_t b);
+
+/// `num_cliques` cliques in a path (not a ring), consecutive cliques
+/// joined by one bridge of `bridge_latency` — the line version of
+/// make_ring_of_cliques, with diameter Θ(num_cliques * bridge_latency).
+WeightedGraph make_path_of_cliques(std::size_t num_cliques,
+                                   std::size_t clique_size,
+                                   Latency bridge_latency = 1);
+
+}  // namespace latgossip

@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace latgossip {
+
+WeightedGraph::WeightedGraph(std::size_t n) : adjacency_(n) {
+  if (n > static_cast<std::size_t>(kInvalidNode))
+    throw std::invalid_argument("graph too large for NodeId");
+}
+
+EdgeId WeightedGraph::add_edge(NodeId u, NodeId v, Latency latency) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("self-loops are not allowed");
+  if (latency < 1) throw std::invalid_argument("latency must be >= 1");
+  const auto k = key(u, v);
+  if (edge_index_.count(k) != 0)
+    throw std::invalid_argument("duplicate edge");
+  const auto e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, latency});
+  adjacency_[u].push_back(HalfEdge{v, e});
+  adjacency_[v].push_back(HalfEdge{u, e});
+  edge_index_.emplace(k, e);
+  return e;
+}
+
+NodeId WeightedGraph::other_endpoint(EdgeId e, NodeId u) const {
+  const Edge& ed = edge(e);
+  if (ed.u == u) return ed.v;
+  if (ed.v == u) return ed.u;
+  throw std::invalid_argument("node is not an endpoint of edge");
+}
+
+void WeightedGraph::set_latency(EdgeId e, Latency latency) {
+  check_edge(e);
+  if (latency < 1) throw std::invalid_argument("latency must be >= 1");
+  edges_[e].latency = latency;
+}
+
+std::optional<EdgeId> WeightedGraph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  if (u == v) return std::nullopt;
+  auto it = edge_index_.find(key(u, v));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t WeightedGraph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (const auto& adj : adjacency_) d = std::max(d, adj.size());
+  return d;
+}
+
+Latency WeightedGraph::max_latency() const noexcept {
+  Latency m = 0;
+  for (const auto& e : edges_) m = std::max(m, e.latency);
+  return m;
+}
+
+Latency WeightedGraph::min_latency() const noexcept {
+  if (edges_.empty()) return 0;
+  Latency m = edges_.front().latency;
+  for (const auto& e : edges_) m = std::min(m, e.latency);
+  return m;
+}
+
+bool WeightedGraph::is_connected() const {
+  const std::size_t n = num_nodes();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& h : adjacency_[u]) {
+      if (!seen[h.to]) {
+        seen[h.to] = true;
+        ++visited;
+        stack.push_back(h.to);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::size_t WeightedGraph::volume(const std::vector<bool>& in_set) const {
+  if (in_set.size() != num_nodes())
+    throw std::invalid_argument("volume: membership size mismatch");
+  std::size_t vol = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    if (in_set[u]) vol += adjacency_[u].size();
+  return vol;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,113 @@
+#pragma once
+// Undirected graph with integer edge latencies — the substrate for every
+// construction and simulation in latgossip.
+//
+// The paper's model (Section 1): connected undirected graph G = (V, E),
+// each edge carries an integer latency >= 1 ("how many rounds it takes
+// for two neighbors to exchange information"). Latencies are mutable
+// after construction because the lower-bound gadgets (Section 3.2) fix
+// latencies a priori from a random target set that the algorithm — but
+// not the builder — must discover.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace latgossip {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Latency = std::int64_t;
+using Round = std::int64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One direction of an undirected edge, as seen from the owning node.
+struct HalfEdge {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+/// Full undirected edge record.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Latency latency = 1;
+};
+
+class WeightedGraph {
+ public:
+  /// Graph on `n` isolated nodes.
+  explicit WeightedGraph(std::size_t n);
+
+  std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Add undirected edge {u, v} with the given latency.
+  /// Throws on self-loops, out-of-range endpoints, duplicate edges, or
+  /// latency < 1. Returns the new edge's id.
+  EdgeId add_edge(NodeId u, NodeId v, Latency latency = 1);
+
+  std::span<const HalfEdge> neighbors(NodeId u) const {
+    check_node(u);
+    return adjacency_[u];
+  }
+
+  std::size_t degree(NodeId u) const {
+    check_node(u);
+    return adjacency_[u].size();
+  }
+
+  const Edge& edge(EdgeId e) const {
+    check_edge(e);
+    return edges_[e];
+  }
+
+  Latency latency(EdgeId e) const { return edge(e).latency; }
+
+  /// Other endpoint of edge `e` relative to `u`.
+  NodeId other_endpoint(EdgeId e, NodeId u) const;
+
+  /// Mutate the latency of an existing edge (used by gadget reveal and
+  /// by latency-model application). Throws if latency < 1.
+  void set_latency(EdgeId e, Latency latency);
+
+  /// Edge id of {u, v} if present.
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const { return find_edge(u, v).has_value(); }
+
+  std::size_t max_degree() const noexcept;
+  Latency max_latency() const noexcept;
+  Latency min_latency() const noexcept;
+
+  /// True iff the graph is connected (trivially true for n <= 1).
+  bool is_connected() const;
+
+  /// Sum over u in U of deg(u)  — the paper's Vol(U) (Definition 1).
+  /// `in_set[u]` marks membership.
+  std::size_t volume(const std::vector<bool>& in_set) const;
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+ private:
+  void check_node(NodeId u) const {
+    if (u >= adjacency_.size()) throw std::out_of_range("node id out of range");
+  }
+  void check_edge(EdgeId e) const {
+    if (e >= edges_.size()) throw std::out_of_range("edge id out of range");
+  }
+  static std::uint64_t key(NodeId u, NodeId v) noexcept {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, EdgeId> edge_index_;
+};
+
+}  // namespace latgossip

@@ -1,0 +1,87 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latgossip {
+namespace {
+
+constexpr const char* kMagic = "latgossip-graph";
+constexpr int kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("graph io: " + what);
+}
+
+/// Skip comments ('#' to end of line) and whitespace.
+void skip_noise(std::istream& in) {
+  while (true) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void write_graph(std::ostream& out, const WeightedGraph& g) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges())
+    out << e.u << ' ' << e.v << ' ' << e.latency << '\n';
+  if (!out) fail("write failed");
+}
+
+WeightedGraph read_graph(std::istream& in) {
+  skip_noise(in);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) fail("missing header");
+  if (magic != kMagic) fail("bad magic '" + magic + "'");
+  if (version != kVersion) fail("unsupported version");
+  skip_noise(in);
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m)) fail("missing size line");
+  WeightedGraph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    skip_noise(in);
+    std::uint64_t u = 0, v = 0;
+    Latency latency = 0;
+    if (!(in >> u >> v >> latency)) fail("truncated edge list");
+    if (u >= n || v >= n) fail("edge endpoint out of range");
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), latency);
+  }
+  return g;
+}
+
+void save_graph(const std::string& path, const WeightedGraph& g) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_graph(out, g);
+}
+
+WeightedGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "' for reading");
+  return read_graph(in);
+}
+
+std::string graph_to_string(const WeightedGraph& g) {
+  std::ostringstream out;
+  write_graph(out, g);
+  return out.str();
+}
+
+WeightedGraph graph_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_graph(in);
+}
+
+}  // namespace latgossip

@@ -1,0 +1,65 @@
+#include "graph/latency_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latgossip {
+
+void assign_uniform_latency(WeightedGraph& g, Latency latency) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e) g.set_latency(e, latency);
+}
+
+void assign_random_uniform_latency(WeightedGraph& g, Latency lo, Latency hi,
+                                   Rng& rng) {
+  if (lo < 1 || hi < lo)
+    throw std::invalid_argument("latency range must satisfy 1 <= lo <= hi");
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_latency(e, rng.uniform_int(lo, hi));
+}
+
+void assign_two_level_latency(WeightedGraph& g, Latency fast, Latency slow,
+                              double p_fast, Rng& rng) {
+  if (fast < 1 || slow < fast)
+    throw std::invalid_argument("need 1 <= fast <= slow");
+  if (p_fast < 0.0 || p_fast > 1.0)
+    throw std::invalid_argument("p_fast out of [0,1]");
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_latency(e, rng.bernoulli(p_fast) ? fast : slow);
+}
+
+void assign_pareto_latency(WeightedGraph& g, double alpha, double scale,
+                           Latency cap, Rng& rng) {
+  if (alpha <= 0.0 || scale <= 0.0 || cap < 1)
+    throw std::invalid_argument("pareto: alpha, scale > 0 and cap >= 1");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    double u = rng.uniform_double();
+    if (u <= 0.0) u = 1e-12;
+    const double raw = scale * std::pow(u, -1.0 / alpha);
+    const auto lat = static_cast<Latency>(std::ceil(raw));
+    g.set_latency(e, std::clamp<Latency>(lat, 1, cap));
+  }
+}
+
+void assign_distance_latency(
+    WeightedGraph& g, const std::vector<std::pair<double, double>>& coords,
+    double scale) {
+  if (coords.size() != g.num_nodes())
+    throw std::invalid_argument("coords size mismatch");
+  if (scale <= 0.0) throw std::invalid_argument("scale must be > 0");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const double dx = coords[ed.u].first - coords[ed.v].first;
+    const double dy = coords[ed.u].second - coords[ed.v].second;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    g.set_latency(e, std::max<Latency>(
+                         1, static_cast<Latency>(std::lround(scale * dist))));
+  }
+}
+
+void assign_latency(WeightedGraph& g,
+                    const std::function<Latency(const Edge&)>& rule) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e) g.set_latency(e, rule(g.edge(e)));
+}
+
+}  // namespace latgossip

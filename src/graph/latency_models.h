@@ -1,0 +1,45 @@
+#pragma once
+// Latency assignment policies. Generators produce unit-latency topology;
+// these functions overwrite the latencies in place according to a model.
+// The paper assumes integer latencies >= 1 (Section 1: non-integer
+// latencies are scaled and rounded), so every model here emits integers.
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+/// Every edge gets the same latency.
+void assign_uniform_latency(WeightedGraph& g, Latency latency);
+
+/// Uniform integer latency in [lo, hi].
+void assign_random_uniform_latency(WeightedGraph& g, Latency lo, Latency hi,
+                                   Rng& rng);
+
+/// Two-level model: each edge is "fast" (latency `fast`) with probability
+/// `p_fast`, else "slow" (latency `slow`). This is the latency structure
+/// of the paper's lower-bound gadgets and of WAN/LAN mixtures.
+void assign_two_level_latency(WeightedGraph& g, Latency fast, Latency slow,
+                              double p_fast, Rng& rng);
+
+/// Heavy-tailed (discrete Pareto): latency = ceil(scale * U^{-1/alpha}),
+/// clamped to [1, cap]. Models long-tail internet RTTs.
+void assign_pareto_latency(WeightedGraph& g, double alpha, double scale,
+                           Latency cap, Rng& rng);
+
+/// Distance-based: latency = max(1, round(scale * euclidean distance))
+/// given node coordinates (e.g. from make_random_geometric).
+void assign_distance_latency(WeightedGraph& g,
+                             const std::vector<std::pair<double, double>>&
+                                 coords,
+                             double scale);
+
+/// Arbitrary per-edge rule.
+void assign_latency(WeightedGraph& g,
+                    const std::function<Latency(const Edge&)>& rule);
+
+}  // namespace latgossip

@@ -1,0 +1,279 @@
+#pragma once
+// Round-driven simulator for the paper's communication model (Section 1):
+//
+//  * time proceeds in synchronous rounds;
+//  * in each round every node may initiate one bidirectional exchange
+//    with one chosen neighbor;
+//  * an exchange over an edge of latency ℓ completes ℓ rounds later, at
+//    which point each endpoint receives the other's payload as of the
+//    initiation round (see DESIGN.md "payload snapshot semantics");
+//  * communication is non-blocking: a node may initiate a new exchange
+//    every round while earlier ones are still in flight.
+//
+// Model variations discussed by the paper are supported as options:
+//  * blocking communication (Appendix E: the T(k) algorithm "works even
+//    when nodes ... wait till the acknowledgement of the previous
+//    message") — at most one outstanding self-initiated exchange;
+//  * bounded in-degree (Conclusion, citing Daum et al.): a cap on how
+//    many incoming initiations a node accepts per round;
+//  * node crashes and lossy links (Conclusion: "push-pull is relatively
+//    robust to failures, while our other approaches are not") — see
+//    sim/faults.h;
+//  * latency jitter (footnote 1: "due to fluctuations in network
+//    quality ... a node cannot necessarily predict the latency").
+//
+// The engine is generic over a Protocol type (duck-typed, checked by the
+// GossipProtocol concept below) so payloads stay strongly typed and
+// allocation-free where possible.
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/metrics.h"
+
+namespace latgossip {
+
+/// What a protocol is allowed to see of the network. In the
+/// unknown-latency model (Sections 3 and 4) a protocol can enumerate its
+/// neighbors but must learn latencies by timing exchanges; in the
+/// known-latency model (Section 5) `latency()` is available.
+class NetworkView {
+ public:
+  NetworkView(const WeightedGraph& g, bool latencies_known)
+      : graph_(&g), latencies_known_(latencies_known) {}
+
+  std::size_t num_nodes() const { return graph_->num_nodes(); }
+  std::size_t degree(NodeId u) const { return graph_->degree(u); }
+  std::span<const HalfEdge> neighbors(NodeId u) const {
+    return graph_->neighbors(u);
+  }
+  bool latencies_known() const { return latencies_known_; }
+
+  /// Latency of an edge; only callable in the known-latency model.
+  Latency latency(EdgeId e) const {
+    if (!latencies_known_)
+      throw std::logic_error(
+          "protocol queried a latency in the unknown-latency model");
+    return graph_->latency(e);
+  }
+
+  const WeightedGraph& graph() const { return *graph_; }
+
+ private:
+  const WeightedGraph* graph_;
+  bool latencies_known_;
+};
+
+/// Requirements on a protocol driven by run_gossip():
+///  - Payload: the information carried by one direction of an exchange.
+///  - select_contact(u, r): neighbor (by NodeId) u initiates with in
+///    round r, or nullopt to stay silent.
+///  - capture_payload(u, r): snapshot of u's transmitted state.
+///  - deliver(u, peer, payload, edge, start, now): u receives peer's
+///    snapshot from the exchange initiated at `start`, completing `now`.
+///  - done(r): global termination predicate, checked after deliveries.
+///
+/// Optionally a protocol may expose
+///    static std::size_t payload_bits(const Payload&)
+/// for message-size accounting (Conclusion: push-pull works with small
+/// messages, the spanner algorithm does not); without it every payload
+/// counts as one bit.
+template <typename P>
+concept GossipProtocol = requires(P p, const P cp, NodeId u, Round r,
+                                  typename P::Payload pay, EdgeId e) {
+  typename P::Payload;
+  { p.select_contact(u, r) } -> std::convertible_to<std::optional<NodeId>>;
+  { p.capture_payload(u, r) } -> std::same_as<typename P::Payload>;
+  { p.deliver(u, u, std::move(pay), e, r, r) };
+  { cp.done(r) } -> std::convertible_to<bool>;
+};
+
+namespace detail {
+
+template <typename P>
+std::size_t payload_bits_of(const typename P::Payload& pay) {
+  if constexpr (requires {
+                  { P::payload_bits(pay) } -> std::convertible_to<std::size_t>;
+                }) {
+    return P::payload_bits(pay);
+  } else {
+    return 1;
+  }
+}
+
+}  // namespace detail
+
+struct SimOptions {
+  Round max_rounds = 1'000'000;
+  /// Stop (as incomplete) once no exchange is in flight and no node
+  /// selects a contact. Protocols with a natural quiescent end (RR
+  /// broadcast, probes) rely on this; superround protocols (DTG) must
+  /// disable it.
+  bool stop_when_idle = true;
+  /// Blocking communication: a node may not initiate while one of its
+  /// own initiations is still outstanding (Appendix E's stricter model).
+  bool blocking = false;
+  /// Cap on accepted incoming initiations per node per round; excess
+  /// exchanges fail entirely (neither side receives anything). 0 = off.
+  std::size_t max_incoming_per_round = 0;
+  /// Observer invoked at every edge activation (initiator, responder,
+  /// edge, round); the guessing-game reduction (Lemma 3) listens here.
+  std::function<void(NodeId, NodeId, EdgeId, Round)> on_activation;
+  /// Fault hooks (see sim/faults.h for a convenient builder):
+  /// crashed nodes neither initiate nor receive from their crash round.
+  std::function<bool(NodeId, Round)> is_crashed;
+  /// Per-delivery loss: drop the payload traveling to `to` from `from`.
+  std::function<bool(NodeId to, NodeId from, EdgeId, Round start, Round now)>
+      drop_delivery;
+  /// Per-exchange latency override (jitter). Receives the edge and its
+  /// nominal latency; the result is clamped to >= 1.
+  std::function<Latency(EdgeId, Latency)> latency_jitter;
+};
+
+/// Drive `proto` over `g` until done(), idle, or max_rounds.
+///
+/// Per-round order: (1) deliveries scheduled for this round (both
+/// endpoints of each completed exchange), (2) done() check, (3) contact
+/// selection in node-id order with payload snapshots taken immediately.
+template <typename P>
+  requires GossipProtocol<P>
+SimResult run_gossip(const WeightedGraph& g, P& proto,
+                     const SimOptions& opts = {}) {
+  struct Delivery {
+    NodeId to;
+    NodeId from;
+    EdgeId edge;
+    Round start;
+    bool to_initiator;  ///< true for the response leg (unblocks `to`)
+    typename P::Payload payload;
+  };
+
+  const std::size_t n = g.num_nodes();
+  SimResult result;
+  if (n == 0) {
+    result.completed = proto.done(0);
+    return result;
+  }
+
+  // Deliveries bucketed by round in a growable ring; slot r holds
+  // deliveries due at absolute round r.
+  std::vector<std::vector<Delivery>> buckets;
+  std::size_t inflight = 0;
+  auto bucket_for = [&](Round r) -> std::vector<Delivery>& {
+    const auto idx = static_cast<std::size_t>(r);
+    if (idx >= buckets.size()) buckets.resize(idx + 1);
+    return buckets[idx];
+  };
+
+  // Blocking-model bookkeeping: outstanding self-initiated exchanges.
+  std::vector<std::size_t> outstanding(opts.blocking ? n : 0, 0);
+  // Bounded in-degree bookkeeping (stamp trick: O(1) per-round reset).
+  std::vector<Round> incoming_stamp;
+  std::vector<std::size_t> incoming_count;
+  if (opts.max_incoming_per_round > 0) {
+    incoming_stamp.assign(n, -1);
+    incoming_count.assign(n, 0);
+  }
+
+  for (Round r = 0; r <= opts.max_rounds; ++r) {
+    // 1. Deliveries due now.
+    if (static_cast<std::size_t>(r) < buckets.size()) {
+      auto& due = buckets[static_cast<std::size_t>(r)];
+      for (auto& d : due) {
+        if (opts.blocking && d.to_initiator) {
+          // The response leg completes the initiator's round trip even
+          // if its content is lost.
+          if (outstanding[d.to] > 0) --outstanding[d.to];
+        }
+        const bool crashed =
+            (opts.is_crashed && opts.is_crashed(d.to, r)) ||
+            (opts.is_crashed && opts.is_crashed(d.from, r));
+        const bool dropped =
+            crashed || (opts.drop_delivery &&
+                        opts.drop_delivery(d.to, d.from, d.edge, d.start, r));
+        if (dropped) {
+          ++result.messages_dropped;
+          continue;
+        }
+        proto.deliver(d.to, d.from, std::move(d.payload), d.edge, d.start, r);
+        ++result.messages_delivered;
+      }
+      inflight -= due.size();
+      due.clear();
+      due.shrink_to_fit();
+    }
+
+    // 2. Termination.
+    if (proto.done(r)) {
+      result.completed = true;
+      result.rounds = r;
+      return result;
+    }
+    if (r == opts.max_rounds) break;
+
+    // 3. Contact selection.
+    bool any_selected = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (opts.is_crashed && opts.is_crashed(u, r)) continue;
+      if (opts.blocking && outstanding[u] > 0) continue;
+      const std::optional<NodeId> target = proto.select_contact(u, r);
+      if (!target) continue;
+      const auto edge = g.find_edge(u, *target);
+      if (!edge)
+        throw std::logic_error("protocol selected a non-neighbor contact");
+      any_selected = true;
+      ++result.activations;
+      if (opts.on_activation) opts.on_activation(u, *target, *edge, r);
+
+      // Bounded in-degree: the responder may reject the initiation.
+      if (opts.max_incoming_per_round > 0) {
+        if (incoming_stamp[*target] != r) {
+          incoming_stamp[*target] = r;
+          incoming_count[*target] = 0;
+        }
+        if (++incoming_count[*target] > opts.max_incoming_per_round) {
+          ++result.exchanges_rejected;
+          continue;
+        }
+      }
+
+      Latency lat = g.latency(*edge);
+      if (opts.latency_jitter) {
+        lat = opts.latency_jitter(*edge, lat);
+        if (lat < 1) lat = 1;
+      }
+      auto& slot = bucket_for(r + lat);
+      // Initiator's snapshot travels to the responder and vice versa.
+      auto push = proto.capture_payload(u, r);
+      auto pull = proto.capture_payload(*target, r);
+      result.payload_bits += detail::payload_bits_of<P>(push);
+      result.payload_bits += detail::payload_bits_of<P>(pull);
+      slot.push_back(
+          Delivery{*target, u, *edge, r, /*to_initiator=*/false,
+                   std::move(push)});
+      slot.push_back(Delivery{u, *target, *edge, r, /*to_initiator=*/true,
+                              std::move(pull)});
+      if (opts.blocking) ++outstanding[u];
+      inflight += 2;
+      result.max_inflight = std::max(result.max_inflight, inflight);
+    }
+
+    if (opts.stop_when_idle && !any_selected && inflight == 0) {
+      result.rounds = r;
+      result.completed = proto.done(r);
+      return result;
+    }
+  }
+
+  result.rounds = opts.max_rounds;
+  result.completed = false;
+  return result;
+}
+
+}  // namespace latgossip

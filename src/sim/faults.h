@@ -1,0 +1,97 @@
+#pragma once
+// Failure injection for the simulator (the paper's conclusion:
+// "push-pull is relatively robust to failures, while our other
+// approaches are not. An interesting direction would be to find tight
+// bounds and to develop robust fault-tolerant algorithms.").
+//
+// A FaultPlan owns the random state and schedules; install it into
+// SimOptions with apply(). The plan must outlive the run_gossip() call
+// (the installed callbacks reference it).
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::size_t num_nodes, std::uint64_t seed = 0)
+      : crash_round_(num_nodes, kNever), rng_(seed) {}
+
+  /// Node u stops initiating and receiving from round `at` on.
+  void crash_node(NodeId u, Round at) {
+    if (u >= crash_round_.size())
+      throw std::out_of_range("FaultPlan: node id out of range");
+    if (at < 0) throw std::invalid_argument("FaultPlan: negative round");
+    crash_round_[u] = at;
+  }
+
+  /// Crash `count` distinct uniformly random nodes at round `at`,
+  /// never crashing `spare` (e.g. the broadcast source).
+  void crash_random_nodes(std::size_t count, Round at, NodeId spare) {
+    const std::size_t n = crash_round_.size();
+    if (count + 1 > n)
+      throw std::invalid_argument("FaultPlan: too many crashes");
+    std::size_t done = 0;
+    while (done < count) {
+      const auto v = static_cast<NodeId>(rng_.uniform(n));
+      if (v == spare || crash_round_[v] != kNever) continue;
+      crash_round_[v] = at;
+      ++done;
+    }
+  }
+
+  /// Every payload delivery is independently lost with probability p.
+  void set_link_drop_probability(double p) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("FaultPlan: p out of [0,1]");
+    drop_probability_ = p;
+  }
+
+  bool crashed(NodeId u, Round r) const { return crash_round_[u] <= r; }
+
+  /// Install the hooks. The plan must outlive the simulation run.
+  void apply(SimOptions& opts) {
+    opts.is_crashed = [this](NodeId u, Round r) { return crashed(u, r); };
+    if (drop_probability_ > 0.0) {
+      opts.drop_delivery = [this](NodeId, NodeId, EdgeId, Round, Round) {
+        return rng_.bernoulli(drop_probability_);
+      };
+    }
+  }
+
+  std::size_t num_crashed_by(Round r) const {
+    std::size_t c = 0;
+    for (Round cr : crash_round_)
+      if (cr <= r) ++c;
+    return c;
+  }
+
+ private:
+  static constexpr Round kNever = std::numeric_limits<Round>::max();
+
+  std::vector<Round> crash_round_;
+  double drop_probability_ = 0.0;
+  Rng rng_;
+};
+
+/// Uniform latency jitter: each exchange's latency is the nominal value
+/// plus an integer uniform in [-spread, +spread], clamped to >= 1
+/// (footnote 1: latencies fluctuate with network quality). The returned
+/// callable owns its RNG; copy it into SimOptions::latency_jitter.
+inline std::function<Latency(EdgeId, Latency)> make_uniform_jitter(
+    Latency spread, std::uint64_t seed) {
+  if (spread < 0) throw std::invalid_argument("jitter: negative spread");
+  return [rng = Rng(seed), spread](EdgeId, Latency nominal) mutable {
+    const Latency delta = rng.uniform_int(-spread, spread);
+    return std::max<Latency>(1, nominal + delta);
+  };
+}
+
+}  // namespace latgossip

@@ -1,0 +1,34 @@
+#pragma once
+// Simulation outcome metrics shared by all protocol runs.
+
+#include <cstddef>
+
+#include "graph/graph.h"
+
+namespace latgossip {
+
+struct SimResult {
+  Round rounds = 0;                   ///< round at which the run ended
+  bool completed = false;             ///< done() became true
+  std::size_t activations = 0;        ///< exchanges initiated
+  std::size_t messages_delivered = 0; ///< payload deliveries (2/exchange)
+  std::size_t messages_dropped = 0;   ///< deliveries lost to faults
+  std::size_t exchanges_rejected = 0; ///< bounced by the in-degree cap
+  std::size_t payload_bits = 0;       ///< total bits sent (see engine.h)
+  std::size_t max_inflight = 0;       ///< peak concurrent deliveries
+
+  /// Merge a sequential phase into a running total.
+  SimResult& accumulate(const SimResult& phase) {
+    rounds += phase.rounds;
+    completed = phase.completed;
+    activations += phase.activations;
+    messages_delivered += phase.messages_delivered;
+    messages_dropped += phase.messages_dropped;
+    exchanges_rejected += phase.exchanges_rejected;
+    payload_bits += phase.payload_bits;
+    if (phase.max_inflight > max_inflight) max_inflight = phase.max_inflight;
+    return *this;
+  }
+};
+
+}  // namespace latgossip

@@ -1,0 +1,87 @@
+#pragma once
+// Event tracing for simulation runs: records every edge activation (and
+// through a per-round probe, the protocol's progress curve) for
+// debugging and for spread-curve figures.
+//
+// Usage:
+//   SimTrace trace;
+//   SimOptions opts;
+//   trace.attach(opts);                      // record activations
+//   run_gossip(g, proto, opts);
+//   trace.to_csv();                          // round,initiator,responder,edge
+//
+// The trace must outlive the run (the installed callback references it).
+// attach() composes with an existing on_activation observer.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace latgossip {
+
+class SimTrace {
+ public:
+  struct Activation {
+    Round round;
+    NodeId initiator;
+    NodeId responder;
+    EdgeId edge;
+  };
+
+  /// Install the recording hook into `opts`, chaining any observer that
+  /// is already present.
+  void attach(SimOptions& opts) {
+    auto previous = std::move(opts.on_activation);
+    opts.on_activation = [this, previous = std::move(previous)](
+                             NodeId u, NodeId v, EdgeId e, Round r) {
+      events_.push_back(Activation{r, u, v, e});
+      if (previous) previous(u, v, e, r);
+    };
+  }
+
+  const std::vector<Activation>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Number of activations in round r.
+  std::size_t activations_in_round(Round r) const {
+    std::size_t c = 0;
+    for (const Activation& a : events_)
+      if (a.round == r) ++c;
+    return c;
+  }
+
+  /// Activations per edge (indexable by EdgeId up to the max edge seen).
+  std::vector<std::size_t> per_edge_counts(std::size_t num_edges) const {
+    std::vector<std::size_t> counts(num_edges, 0);
+    for (const Activation& a : events_)
+      if (a.edge < num_edges) ++counts[a.edge];
+    return counts;
+  }
+
+  /// CSV rendering: "round,initiator,responder,edge" per line.
+  std::string to_csv() const {
+    std::string out = "round,initiator,responder,edge\n";
+    for (const Activation& a : events_) {
+      out += std::to_string(a.round);
+      out += ',';
+      out += std::to_string(a.initiator);
+      out += ',';
+      out += std::to_string(a.responder);
+      out += ',';
+      out += std::to_string(a.edge);
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Activation> events_;
+};
+
+}  // namespace latgossip

@@ -1,0 +1,65 @@
+#include "util/args.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace latgossip {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string Args::get(const std::string& name, const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Args::allow_only(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    bool ok = false;
+    for (const auto& k : known)
+      if (k == name) {
+        ok = true;
+        break;
+      }
+    if (!ok) throw std::invalid_argument("unknown flag --" + name);
+  }
+}
+
+}  // namespace latgossip

@@ -1,0 +1,159 @@
+#pragma once
+// Dynamic bitset used for rumor sets.
+//
+// Information-dissemination protocols carry "rumor sets" (subsets of node
+// IDs). A packed 64-bit-word bitset makes the dominant operations —
+// union, subset test, popcount — O(n/64) and cache-friendly.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace latgossip {
+
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// All-zero bitset with `size` bits.
+  explicit Bitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool test(std::size_t i) const {
+    check(i);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) {
+    check(i);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    check(i);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  void set_all() noexcept {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool all() const noexcept { return count() == size_; }
+  bool none() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// In-place union. Precondition: same size.
+  Bitset& operator|=(const Bitset& other) {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection. Precondition: same size.
+  Bitset& operator&=(const Bitset& other) {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// In-place difference (this \ other). Precondition: same size.
+  Bitset& operator-=(const Bitset& other) {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+
+  bool operator==(const Bitset& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// True iff every bit of this is also set in `other`.
+  bool is_subset_of(const Bitset& other) const {
+    check_same(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    return true;
+  }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const noexcept {
+    if (from >= size_) return size_;
+    std::size_t word_index = from >> 6;
+    std::uint64_t w = words_[word_index] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (w != 0) {
+        std::size_t bit =
+            (word_index << 6) + static_cast<std::size_t>(std::countr_zero(w));
+        return bit < size_ ? bit : size_;
+      }
+      if (++word_index >= words_.size()) return size_;
+      w = words_[word_index];
+    }
+  }
+
+  std::size_t find_first() const noexcept { return find_next(0); }
+
+  /// FNV-1a hash of the contents (used by the termination check to
+  /// compare rumor sets by fingerprint instead of shipping whole sets).
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (auto w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return h ^ size_;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> to_indices() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for (std::size_t i = find_first(); i < size_; i = find_next(i + 1))
+      out.push_back(i);
+    return out;
+  }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("Bitset index out of range");
+  }
+  void check_same(const Bitset& other) const {
+    if (size_ != other.size_)
+      throw std::invalid_argument("Bitset size mismatch");
+  }
+  /// Zero bits beyond size_ in the last word.
+  void trim() noexcept {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace latgossip

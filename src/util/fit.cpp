@@ -1,0 +1,55 @@
+#include "util/fit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace latgossip {
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("linear_fit: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("linear_fit: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("linear_fit: degenerate x");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    f.r_squared = 1.0;  // constant y perfectly explained
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (f.slope * x[i] + f.intercept);
+      ss_res += e * e;
+    }
+    f.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return f;
+}
+
+LinearFit loglog_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("loglog_fit: size mismatch");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0)
+      throw std::invalid_argument("loglog_fit: values must be positive");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace latgossip

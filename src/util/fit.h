@@ -1,0 +1,25 @@
+#pragma once
+// Regression helpers used by experiment harnesses to compare measured
+// series against the theoretical growth predicted by the paper.
+
+#include <vector>
+
+namespace latgossip {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fit y = C * x^a by OLS in log-log space; returns {a, log C, R^2}.
+/// Used to verify asymptotic shapes, e.g. "rounds grow linearly in m"
+/// (Lemma 4) should yield an exponent near 1. All values must be > 0.
+LinearFit loglog_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace latgossip

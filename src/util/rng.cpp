@@ -1,0 +1,28 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace latgossip {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample: k > n");
+  // Floyd's algorithm: O(k) expected time, O(k) space.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = uniform(j + 1);
+    if (chosen.count(t) != 0) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  // Return in shuffled order for callers that iterate prefix-first.
+  shuffle(out);
+  return out;
+}
+
+}  // namespace latgossip

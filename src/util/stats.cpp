@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latgossip {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(const std::vector<double>& sorted_values, double q) {
+  if (sorted_values.empty())
+    throw std::invalid_argument("percentile of empty sample");
+  if (q <= 0.0) return sorted_values.front();
+  if (q >= 1.0) return sorted_values.back();
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = percentile(values, 0.5);
+  s.p90 = percentile(values, 0.9);
+  s.p99 = percentile(values, 0.99);
+  return s;
+}
+
+}  // namespace latgossip

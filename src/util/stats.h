@@ -1,0 +1,49 @@
+#pragma once
+// Lightweight statistics helpers for experiment harnesses and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace latgossip {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: mean/stddev/min/max/median/percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarize a sample (copied and sorted internally).
+Summary summarize(std::vector<double> values);
+
+/// Percentile by linear interpolation on the sorted sample, q in [0, 1].
+double percentile(const std::vector<double>& sorted_values, double q);
+
+}  // namespace latgossip

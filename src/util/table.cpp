@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace latgossip {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v) {
+  char buf[64];
+  if (v == 0.0) return "0";
+  const double av = std::fabs(v);
+  if (av >= 1e7 || av < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else if (v == std::floor(v) && av < 1e7) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size())
+        out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < headers_.size()) rule.append(2, ' ');
+  }
+  out += rule;
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void Table::print(const std::string& caption) const {
+  std::printf("\n== %s ==\n%s", caption.c_str(), to_string().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace latgossip

@@ -1,0 +1,50 @@
+#pragma once
+// Column-aligned plain-text tables and CSV output for bench harnesses.
+//
+// Every experiment binary prints a self-describing table of (parameter,
+// measurement, theory-reference) rows; this keeps all benches uniform.
+
+#include <concepts>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace latgossip {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row. Must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into a row.
+  template <typename... Args>
+  void add(Args&&... args) {
+    add_row({cell(std::forward<Args>(args))...});
+  }
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+  /// Render as CSV (no quoting; cells must not contain commas).
+  std::string to_csv() const;
+  /// Print to stdout with a caption line.
+  void print(const std::string& caption) const;
+
+ private:
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v);
+  template <typename T>
+    requires std::integral<T>
+  static std::string cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace latgossip

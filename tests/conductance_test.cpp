@@ -1,0 +1,169 @@
+// Tests for weighted conductance (Definitions 1-2): hand-computed values,
+// a brute-force cross-check, and the φ*/ℓ* selection rule.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/conductance.h"
+#include "graph/gadgets.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+namespace latgossip {
+namespace {
+
+/// Independent brute-force reference: iterate all subsets directly.
+double brute_force_phi(const WeightedGraph& g, Latency ell) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t vol_total = 2 * g.num_edges();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t mask = 1; mask + 1 < (std::uint64_t{1} << n); ++mask) {
+    std::vector<bool> in_set(n);
+    for (std::size_t v = 0; v < n; ++v) in_set[v] = (mask >> v) & 1;
+    const std::size_t vol = g.volume(in_set);
+    const std::size_t vmin = std::min(vol, vol_total - vol);
+    if (vmin == 0) continue;
+    const double phi = static_cast<double>(cut_edges_leq(g, in_set, ell)) /
+                       static_cast<double>(vmin);
+    best = std::min(best, phi);
+  }
+  return best;
+}
+
+TEST(CutPrimitives, CutEdgesLeq) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 3, 5);
+  const std::vector<bool> cut{true, true, false, false};
+  EXPECT_EQ(cut_edges_leq(g, cut, 1), 0u);
+  EXPECT_EQ(cut_edges_leq(g, cut, 5), 2u);
+  EXPECT_EQ(cut_edges_leq(g, cut, 100), 2u);
+}
+
+TEST(CutPrimitives, PhiOfCut) {
+  auto g = make_cycle(4);
+  const std::vector<bool> half{true, true, false, false};
+  // 2 cut edges; both sides have volume 4.
+  EXPECT_DOUBLE_EQ(phi_ell_of_cut(g, half, 1), 0.5);
+  EXPECT_THROW(phi_ell_of_cut(g, {false, false, false, false}, 1),
+               std::invalid_argument);
+}
+
+TEST(ExactConductance, PathP4) {
+  const auto g = make_path(4);
+  const CutResult r = conductance_exact(g);
+  EXPECT_DOUBLE_EQ(r.phi, 1.0 / 3.0);
+}
+
+TEST(ExactConductance, CliqueK4) {
+  const auto g = make_clique(4);
+  EXPECT_DOUBLE_EQ(conductance_exact(g).phi, 2.0 / 3.0);
+}
+
+TEST(ExactConductance, ArgminCutIsValid) {
+  const auto g = make_path(4);
+  const CutResult r = conductance_exact(g);
+  // The reported cut must achieve the reported value.
+  EXPECT_DOUBLE_EQ(phi_ell_of_cut(g, r.argmin_cut, g.max_latency()), r.phi);
+}
+
+TEST(ExactConductance, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto g = make_erdos_renyi(9, 0.4, rng);
+    assign_random_uniform_latency(g, 1, 4, rng);
+    for (Latency ell : {1, 2, 3, 4}) {
+      const double exact = weight_ell_conductance_exact(g, ell).phi;
+      EXPECT_DOUBLE_EQ(exact, brute_force_phi(g, ell))
+          << "trial " << trial << " ell " << ell;
+    }
+  }
+}
+
+TEST(ExactConductance, GuardsAgainstLargeGraphs) {
+  const auto g = make_clique(30);
+  EXPECT_THROW(conductance_exact(g, 24), std::invalid_argument);
+}
+
+TEST(ExactConductance, RejectsIsolatedNode) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(conductance_exact(g), std::invalid_argument);
+}
+
+TEST(WeightedConductance, DumbbellTriangles) {
+  // Two triangles joined by one latency-5 bridge.
+  const auto g = make_dumbbell(3, 1, 5);
+  const auto wc = weighted_conductance_exact(g);
+  ASSERT_EQ(wc.levels.size(), 2u);
+  EXPECT_EQ(wc.levels[0], 1);
+  EXPECT_EQ(wc.levels[1], 5);
+  // phi_1 = 0 (the bridge cut has no latency-1 edges).
+  EXPECT_DOUBLE_EQ(wc.phi[0], 0.0);
+  // phi_5 = 1/7 (bridge cut: one edge, min volume 3*2+1).
+  EXPECT_DOUBLE_EQ(wc.phi[1], 1.0 / 7.0);
+  EXPECT_EQ(wc.ell_star, 5);
+  EXPECT_DOUBLE_EQ(wc.phi_star, 1.0 / 7.0);
+}
+
+TEST(WeightedConductance, UnitLatenciesReduceToClassical) {
+  // "If all edges have latency 1, then φ* is exactly equal to the
+  // classical graph conductance."
+  Rng rng(7);
+  auto g = make_erdos_renyi(10, 0.4, rng);
+  const auto wc = weighted_conductance_exact(g);
+  ASSERT_EQ(wc.levels.size(), 1u);
+  EXPECT_EQ(wc.ell_star, 1);
+  EXPECT_DOUBLE_EQ(wc.phi_star, conductance_exact(g).phi);
+}
+
+TEST(WeightedConductance, PhiMonotoneInEll) {
+  Rng rng(21);
+  auto g = make_erdos_renyi(10, 0.5, rng);
+  assign_random_uniform_latency(g, 1, 6, rng);
+  const auto wc = weighted_conductance_exact(g);
+  for (std::size_t i = 1; i < wc.phi.size(); ++i)
+    EXPECT_GE(wc.phi[i], wc.phi[i - 1]);
+}
+
+TEST(WeightedConductance, CriticalLatencyPrefersFastLevel) {
+  // Clique with all fast edges except one slow one: the fast level
+  // dominates φ_ℓ/ℓ.
+  auto g = make_clique(6);
+  g.set_latency(0, 50);
+  const auto wc = weighted_conductance_exact(g);
+  EXPECT_EQ(wc.ell_star, 1);
+}
+
+TEST(SelectPhiStar, PicksMaxRatio) {
+  const auto wc = select_phi_star({1, 4, 10}, {0.05, 0.4, 0.5});
+  EXPECT_EQ(wc.ell_star, 4);  // 0.4/4 = 0.1 beats 0.05 and 0.05
+  EXPECT_DOUBLE_EQ(wc.phi_star, 0.4);
+}
+
+TEST(SelectPhiStar, ValidatesInput) {
+  EXPECT_THROW(select_phi_star({}, {}), std::invalid_argument);
+  EXPECT_THROW(select_phi_star({3, 2}, {0.1, 0.2}), std::invalid_argument);
+  EXPECT_THROW(select_phi_star({1, 2}, {0.1}), std::invalid_argument);
+}
+
+TEST(WeightedConductance, LayeredRingMatchesLemma9Bound) {
+  // Small instance of the Theorem 8 ring: phi_ell is at most the
+  // analytic halving-cut value and within a constant of it (Lemma 10).
+  Rng rng(31);
+  const auto ring = make_layered_ring(4, 3, 6, rng);
+  const auto wc = weighted_conductance_exact(ring.graph);
+  const double cut_value = ring.analytic_phi_ell_cut();
+  // phi at the cross-latency level:
+  double phi_ell = 0.0;
+  for (std::size_t i = 0; i < wc.levels.size(); ++i)
+    if (wc.levels[i] == 6) phi_ell = wc.phi[i];
+  EXPECT_LE(phi_ell, cut_value + 1e-12);
+  EXPECT_GE(phi_ell, cut_value / 4.0);
+}
+
+}  // namespace
+}  // namespace latgossip

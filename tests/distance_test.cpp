@@ -1,0 +1,115 @@
+// Tests for shortest paths, eccentricity and diameters.
+
+#include <gtest/gtest.h>
+
+#include "analysis/distance.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+namespace latgossip {
+namespace {
+
+TEST(Dijkstra, WeightedPath) {
+  auto g = make_path(4);
+  g.set_latency(*g.find_edge(0, 1), 2);
+  g.set_latency(*g.find_edge(1, 2), 3);
+  g.set_latency(*g.find_edge(2, 3), 4);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 5);
+  EXPECT_EQ(d[3], 9);
+}
+
+TEST(Dijkstra, PrefersCheapDetour) {
+  WeightedGraph g(3);
+  g.add_edge(0, 2, 10);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[2], 2);
+}
+
+TEST(Dijkstra, UnreachableSentinel) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Dijkstra, CappedIgnoresSlowEdges) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 2);
+  const auto d = dijkstra_capped(g, 0, 4);
+  EXPECT_EQ(d[1], kUnreachable);  // 5 > cap
+  EXPECT_EQ(d[2], kUnreachable);
+  const auto d2 = dijkstra_capped(g, 1, 4);
+  EXPECT_EQ(d2[2], 2);
+}
+
+TEST(Dijkstra, DirectedRespectsOrientation) {
+  DirectedGraph d(3);
+  d.add_arc(0, 1, 4);
+  d.add_arc(1, 2, 1);
+  const auto dist = dijkstra_directed(d, 0);
+  EXPECT_EQ(dist[2], 5);
+  const auto back = dijkstra_directed(d, 2);
+  EXPECT_EQ(back[0], kUnreachable);
+}
+
+TEST(Distance, BfsHopsIgnoreLatency) {
+  auto g = make_path(4);
+  assign_uniform_latency(g, 50);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[3], 3);
+}
+
+TEST(Distance, EccentricityAndDiameter) {
+  auto g = make_path(5);
+  assign_uniform_latency(g, 2);
+  EXPECT_EQ(weighted_eccentricity(g, 2), 4);
+  EXPECT_EQ(weighted_eccentricity(g, 0), 8);
+  EXPECT_EQ(weighted_diameter(g), 8);
+  EXPECT_EQ(hop_diameter(g), 4);
+}
+
+TEST(Distance, DiameterDisconnected) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_EQ(weighted_diameter(g), kUnreachable);
+  EXPECT_EQ(hop_diameter(g), kUnreachable);
+}
+
+TEST(Distance, CliqueDiameterIsLatency) {
+  auto g = make_clique(8);
+  assign_uniform_latency(g, 3);
+  EXPECT_EQ(weighted_diameter(g), 3);
+  EXPECT_EQ(hop_diameter(g), 1);
+}
+
+TEST(Distance, DoubleSweepExactOnTrees) {
+  Rng rng(3);
+  auto g = make_binary_tree(31);
+  assign_uniform_latency(g, 2);
+  EXPECT_EQ(estimate_weighted_diameter(g, 4, rng), weighted_diameter(g));
+}
+
+TEST(Distance, DoubleSweepNeverExceedsTrueDiameter) {
+  Rng rng(5);
+  auto g = make_erdos_renyi(30, 0.15, rng);
+  assign_random_uniform_latency(g, 1, 9, rng);
+  const Latency exact = weighted_diameter(g);
+  const Latency est = estimate_weighted_diameter(g, 6, rng);
+  EXPECT_LE(est, exact);
+  EXPECT_GE(est * 2, exact);  // double sweep is a 1/2-approximation
+}
+
+TEST(Distance, BadSourceThrows) {
+  const auto g = make_path(3);
+  EXPECT_THROW(dijkstra(g, 5), std::out_of_range);
+  EXPECT_THROW(bfs_hops(g, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,180 @@
+// Tests for failure injection (sim/faults.h) and the robustness claims
+// of the paper's conclusion: push-pull tolerates crashes and lossy
+// links; the spanner route is brittle once its overlay loses nodes.
+
+#include <gtest/gtest.h>
+
+#include "core/push_pull.h"
+#include "core/rr_broadcast.h"
+#include "core/spanner.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+
+namespace latgossip {
+namespace {
+
+TEST(FaultPlan, CrashScheduling) {
+  FaultPlan plan(4, 1);
+  plan.crash_node(2, 10);
+  EXPECT_FALSE(plan.crashed(2, 9));
+  EXPECT_TRUE(plan.crashed(2, 10));
+  EXPECT_TRUE(plan.crashed(2, 999));
+  EXPECT_FALSE(plan.crashed(1, 999));
+  EXPECT_EQ(plan.num_crashed_by(10), 1u);
+  EXPECT_THROW(plan.crash_node(7, 0), std::out_of_range);
+  EXPECT_THROW(plan.crash_node(0, -1), std::invalid_argument);
+}
+
+TEST(FaultPlan, RandomCrashesSpareTheSource) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    FaultPlan plan(10, seed);
+    plan.crash_random_nodes(5, 0, /*spare=*/3);
+    EXPECT_FALSE(plan.crashed(3, 100));
+    EXPECT_EQ(plan.num_crashed_by(0), 5u);
+  }
+}
+
+TEST(FaultPlan, ValidatesDropProbability) {
+  FaultPlan plan(3, 1);
+  EXPECT_THROW(plan.set_link_drop_probability(1.5), std::invalid_argument);
+  EXPECT_THROW(plan.crash_random_nodes(3, 0, 0), std::invalid_argument);
+}
+
+TEST(Faults, CrashedNodeNeverInitiatesOrReceives) {
+  // Path 0-1-2 with node 1 crashed from the start: the rumor is stuck.
+  const auto g = make_path(3);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(3));
+  FaultPlan plan(3, 5);
+  plan.crash_node(1, 0);
+  SimOptions opts;
+  plan.apply(opts);
+  opts.max_rounds = 500;
+  const SimResult r = run_gossip(g, proto, opts);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(proto.informed(1));
+  EXPECT_FALSE(proto.informed(2));
+  EXPECT_GT(r.messages_dropped, 0u);
+}
+
+TEST(Faults, LateCrashAfterInformDoesNotUndo) {
+  const auto g = make_clique(8);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(7));
+  FaultPlan plan(8, 9);
+  plan.crash_node(3, 100);  // long after completion
+  SimOptions opts;
+  plan.apply(opts);
+  opts.max_rounds = 90;
+  const SimResult r = run_gossip(g, proto, opts);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Faults, PushPullSurvivesHeavyLinkLoss) {
+  // 30% delivery loss on a clique: push-pull still completes, just
+  // slower — the conclusion's robustness claim.
+  const auto g = make_clique(24);
+  Round lossless = 0, lossy = 0;
+  {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, Rng(11));
+    SimOptions opts;
+    opts.max_rounds = 100'000;
+    const SimResult r = run_gossip(g, proto, opts);
+    ASSERT_TRUE(r.completed);
+    lossless = r.rounds;
+  }
+  {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, Rng(11));
+    FaultPlan plan(24, 13);
+    plan.set_link_drop_probability(0.3);
+    SimOptions opts;
+    plan.apply(opts);
+    opts.max_rounds = 100'000;
+    const SimResult r = run_gossip(g, proto, opts);
+    EXPECT_TRUE(r.completed);
+    lossy = r.rounds;
+    EXPECT_GT(r.messages_dropped, 0u);
+  }
+  EXPECT_GE(lossy, lossless);
+}
+
+TEST(Faults, PushPullSurvivesCrashesOfNonCutNodes) {
+  // Crash a quarter of a clique mid-run; the survivors still finish.
+  const auto g = make_clique(16);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(17));
+  FaultPlan plan(16, 19);
+  plan.crash_random_nodes(4, 2, /*spare=*/0);
+  SimOptions opts;
+  plan.apply(opts);
+  opts.max_rounds = 100'000;
+  run_gossip(g, proto, opts);
+  // Completion flag can't fire (crashed nodes never inform), so check
+  // the survivors directly.
+  for (NodeId v = 0; v < 16; ++v) {
+    if (!plan.crashed(v, 1'000'000)) {
+      EXPECT_TRUE(proto.informed(v));
+    }
+  }
+}
+
+TEST(Faults, SpannerOverlayBrittleUnderCrash) {
+  // RR broadcast over a sparse spanner: crash one spanner-internal node
+  // and rumors relying on it stall — unlike push-pull on the full graph.
+  Rng gen(23);
+  auto g = make_erdos_renyi(24, 0.3, gen);
+  Rng srng(29);
+  const auto spanner = build_baswana_sen_spanner(g, {2, 0}, srng);
+  // Find a node with positive out-degree to crash (overlay-relevant).
+  NodeId victim = 1;
+  for (NodeId v = 1; v < 24; ++v)
+    if (spanner.out_degree(v) > 0) {
+      victim = v;
+      break;
+    }
+  NetworkView view(g, true);
+  RRBroadcast proto(view, spanner, g.max_latency() * 10, own_id_rumors(24));
+  FaultPlan plan(24, 31);
+  plan.crash_node(victim, 0);
+  SimOptions opts;
+  plan.apply(opts);
+  opts.max_rounds = proto.budget() * 2;
+  run_gossip(g, proto, opts);
+  // The crashed node's rumor cannot have reached anyone.
+  for (NodeId v = 0; v < 24; ++v) {
+    if (v != victim) {
+      EXPECT_FALSE(proto.rumors()[v].test(victim));
+    }
+  }
+}
+
+TEST(Jitter, UniformJitterStaysPositiveAndBounded) {
+  auto jitter = make_uniform_jitter(3, 41);
+  for (int i = 0; i < 1000; ++i) {
+    const Latency l = jitter(0, 5);
+    EXPECT_GE(l, 2);
+    EXPECT_LE(l, 8);
+  }
+  auto tight = make_uniform_jitter(10, 43);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(tight(0, 2), 1);
+  EXPECT_THROW(make_uniform_jitter(-1, 1), std::invalid_argument);
+}
+
+TEST(Jitter, PushPullCompletesUnderJitter) {
+  auto g = make_clique(16);
+  assign_uniform_latency(g, 6);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(47));
+  SimOptions opts;
+  opts.latency_jitter = make_uniform_jitter(4, 53);
+  opts.max_rounds = 100'000;
+  const SimResult r = run_gossip(g, proto, opts);
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,93 @@
+// Tests for the round-robin flooding baseline.
+
+#include <gtest/gtest.h>
+
+#include "core/flooding.h"
+#include "core/rr_broadcast.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+
+namespace latgossip {
+namespace {
+
+SimResult run_flood(const WeightedGraph& g, GossipGoal goal,
+                    RoundRobinFlooding* out_proto = nullptr,
+                    Round max_rounds = 200'000) {
+  NetworkView view(g, false);
+  RoundRobinFlooding proto(view, goal, 0, own_id_rumors(g.num_nodes()));
+  SimOptions opts;
+  opts.max_rounds = max_rounds;
+  const SimResult r = run_gossip(g, proto, opts);
+  if (out_proto != nullptr) *out_proto = proto;
+  return r;
+}
+
+TEST(Flooding, AllToAllOnPath) {
+  const auto g = make_path(10);
+  const SimResult r = run_flood(g, GossipGoal::kAllToAll);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.rounds, 9);
+}
+
+TEST(Flooding, AllToAllOnWeightedCycle) {
+  auto g = make_cycle(8);
+  assign_uniform_latency(g, 5);
+  const SimResult r = run_flood(g, GossipGoal::kAllToAll);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.rounds, 4 * 5);  // half the cycle at latency 5
+}
+
+TEST(Flooding, DeterministicSchedule) {
+  const auto g = make_clique(10);
+  const SimResult a = run_flood(g, GossipGoal::kAllToAll);
+  const SimResult b = run_flood(g, GossipGoal::kAllToAll);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.activations, b.activations);
+}
+
+TEST(Flooding, LocalBroadcastFasterOrEqualThanAllToAll) {
+  Rng rng(3);
+  auto g = make_erdos_renyi(16, 0.3, rng);
+  const SimResult local = run_flood(g, GossipGoal::kLocalBroadcast);
+  const SimResult all = run_flood(g, GossipGoal::kAllToAll);
+  ASSERT_TRUE(local.completed);
+  ASSERT_TRUE(all.completed);
+  EXPECT_LE(local.rounds, all.rounds);
+}
+
+TEST(Flooding, StarSingleSourceFromLeaf) {
+  // On a star, bidirectional exchanges save flooding from the Ω(nD)
+  // push-only trap: the hub relays to each leaf round-robin.
+  const auto g = make_star(12);
+  NetworkView view(g, false);
+  RoundRobinFlooding proto(view, GossipGoal::kSingleSource, 1,
+                           own_id_rumors(12));
+  SimOptions opts;
+  opts.max_rounds = 10'000;
+  const SimResult r = run_gossip(g, proto, opts);
+  EXPECT_TRUE(r.completed);
+  EXPECT_LE(r.rounds, 30);
+}
+
+TEST(Flooding, RumorSetsCompleteAtTermination) {
+  const auto g = make_grid(4, 4);
+  RoundRobinFlooding proto(NetworkView(g, false), GossipGoal::kAllToAll, 0,
+                           own_id_rumors(16));
+  SimOptions opts;
+  opts.max_rounds = 100'000;
+  const SimResult r = run_gossip(g, proto, opts);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(all_sets_full(proto.rumors()));
+}
+
+TEST(Flooding, ValidatesInput) {
+  const auto g = make_path(3);
+  NetworkView view(g, false);
+  EXPECT_THROW(
+      RoundRobinFlooding(view, GossipGoal::kAllToAll, 0, own_id_rumors(2)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latgossip

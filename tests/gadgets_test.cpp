@@ -1,0 +1,177 @@
+// Tests for the paper's lower-bound constructions (Section 3).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/distance.h"
+#include "graph/gadgets.h"
+
+namespace latgossip {
+namespace {
+
+TEST(Targets, SingletonInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto t = make_singleton_target(8, rng);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_LT(t[0].first, 8u);
+    EXPECT_LT(t[0].second, 8u);
+  }
+}
+
+TEST(Targets, RandomPDensity) {
+  Rng rng(2);
+  const auto t = make_random_p_target(40, 0.25, rng);
+  // 1600 pairs, expect ~400; allow generous slack.
+  EXPECT_GT(t.size(), 300u);
+  EXPECT_LT(t.size(), 520u);
+}
+
+TEST(Gadget, StructureAsymmetric) {
+  Rng rng(3);
+  const std::size_t m = 5;
+  const auto gg = make_guessing_gadget(m, {{1, 2}}, 1, 100, false);
+  // 2m nodes; m^2 cross + C(m,2) clique-on-L edges.
+  EXPECT_EQ(gg.graph.num_nodes(), 2 * m);
+  EXPECT_EQ(gg.graph.num_edges(), m * m + m * (m - 1) / 2);
+  // Left node degree: m cross + (m-1) clique; right: m cross.
+  EXPECT_EQ(gg.graph.degree(gg.left(0)), m + m - 1);
+  EXPECT_EQ(gg.graph.degree(gg.right(0)), m);
+}
+
+TEST(Gadget, StructureSymmetric) {
+  const std::size_t m = 4;
+  const auto gg = make_guessing_gadget(m, {}, 1, 100, true);
+  EXPECT_EQ(gg.graph.num_edges(), m * m + 2 * (m * (m - 1) / 2));
+  EXPECT_EQ(gg.graph.degree(gg.right(1)), m + m - 1);
+}
+
+TEST(Gadget, CrossEdgeIdsAndLatencies) {
+  const std::size_t m = 4;
+  const TargetSet target{{0, 0}, {2, 3}};
+  const auto gg = make_guessing_gadget(m, target, 1, 99, false);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      const EdgeId e = gg.cross_edge(i, j);
+      EXPECT_TRUE(gg.is_cross_edge(e));
+      EXPECT_EQ(gg.cross_pair(e), (std::pair<std::size_t, std::size_t>{i, j}));
+      const Edge& ed = gg.graph.edge(e);
+      EXPECT_EQ(ed.u, gg.left(i));
+      EXPECT_EQ(ed.v, gg.right(j));
+      const bool fast = (i == 0 && j == 0) || (i == 2 && j == 3);
+      EXPECT_EQ(ed.latency, fast ? 1 : 99);
+    }
+  // Clique edges are not cross edges and have latency 1.
+  const EdgeId clique_edge = *gg.graph.find_edge(gg.left(0), gg.left(1));
+  EXPECT_FALSE(gg.is_cross_edge(clique_edge));
+  EXPECT_EQ(gg.graph.latency(clique_edge), 1);
+}
+
+TEST(Gadget, ValidatesInput) {
+  EXPECT_THROW(make_guessing_gadget(1, {}, 1, 5, false),
+               std::invalid_argument);
+  EXPECT_THROW(make_guessing_gadget(3, {{3, 0}}, 1, 5, false),
+               std::invalid_argument);
+  EXPECT_THROW(make_guessing_gadget(3, {}, 5, 1, false),
+               std::invalid_argument);
+}
+
+TEST(Theorem6, StructureAndDiameter) {
+  Rng rng(5);
+  const std::size_t n = 30, delta = 6;
+  const auto net = make_theorem6_network(n, delta, rng);
+  EXPECT_EQ(net.graph.num_nodes(), n);
+  EXPECT_TRUE(net.graph.is_connected());
+  // Max degree Θ(Δ): left gadget nodes have 2Δ-1 neighbors; the clique
+  // nodes have n - 2Δ - 1 (+1 for the attachment).
+  EXPECT_GE(net.graph.max_degree(), 2 * delta - 1);
+  // Hop diameter is O(1); the weighted diameter is Θ(n) because right
+  // nodes without the fast target edge hang off latency-n cross edges
+  // (a right-right path crosses two of them).
+  EXPECT_LE(hop_diameter(net.graph), 5);
+  const Latency d = weighted_diameter(net.graph);
+  EXPECT_LE(d, 2 * static_cast<Latency>(n) + 4);
+  EXPECT_GE(d, 2);
+}
+
+TEST(Theorem7, FastEdgesMatchTarget) {
+  Rng rng(7);
+  const auto net = make_theorem7_network(20, 3, 0.3, rng);
+  const auto& gg = net.gadget;
+  EXPECT_EQ(gg.graph.num_nodes(), 40u);
+  std::set<std::pair<std::size_t, std::size_t>> target(gg.target.begin(),
+                                                       gg.target.end());
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 20; ++j) {
+      const Latency lat = gg.graph.latency(gg.cross_edge(i, j));
+      EXPECT_EQ(lat, target.count({i, j}) != 0 ? 3 : 20);
+    }
+}
+
+TEST(Theorem7, DiameterOrderEll) {
+  Rng rng(11);
+  // phi = 0.4 with n = 32: whp every right node has a fast edge.
+  const auto net = make_theorem7_network(32, 4, 0.4, rng);
+  const Latency d = weighted_diameter(net.gadget.graph);
+  // D = O(ell): clique hop (1) + fast cross (4) + ... <= ~3*ell.
+  EXPECT_LE(d, 3 * 4 + 2);
+}
+
+TEST(LayeredRing, Structure) {
+  Rng rng(13);
+  const auto ring = make_layered_ring(6, 4, 10, rng);
+  const std::size_t s = 4, k = 6;
+  EXPECT_EQ(ring.graph.num_nodes(), k * s);
+  // Observation 23: (3s-1)-regular.
+  for (NodeId v = 0; v < ring.graph.num_nodes(); ++v)
+    EXPECT_EQ(ring.graph.degree(v), 3 * s - 1);
+  ASSERT_EQ(ring.fast_cross_edges.size(), k);
+  for (EdgeId e : ring.fast_cross_edges)
+    EXPECT_EQ(ring.graph.latency(e), 1);
+  // Exactly one fast cross edge per layer pair.
+  std::size_t fast_cross = 0;
+  for (const Edge& e : ring.graph.edges())
+    if (ring.layer_of(e.u) != ring.layer_of(e.v) && e.latency == 1)
+      ++fast_cross;
+  EXPECT_EQ(fast_cross, k);
+}
+
+TEST(LayeredRing, LayerIndexing) {
+  Rng rng(17);
+  const auto ring = make_layered_ring(4, 3, 5, rng);
+  EXPECT_EQ(ring.node(0, 0), 0u);
+  EXPECT_EQ(ring.node(2, 1), 7u);
+  EXPECT_EQ(ring.layer_of(7), 2u);
+}
+
+TEST(LayeredRing, AnalyticCutConductance) {
+  Rng rng(19);
+  const auto ring = make_layered_ring(8, 5, 7, rng);
+  // Verify the closed form against a hand count: halving cut crosses two
+  // layer boundaries: 2 * s^2 cross edges; volume = (N/2)(3s-1).
+  const double expected =
+      2.0 * 25.0 / ((40.0 / 2.0) * (3.0 * 5.0 - 1.0));
+  EXPECT_DOUBLE_EQ(ring.analytic_phi_ell_cut(), expected);
+}
+
+TEST(Theorem8, PaperParameterization) {
+  Rng rng(23);
+  const auto ring = make_theorem8_network(64, 0.25, 16, rng);
+  EXPECT_GE(ring.num_layers, 4u);
+  EXPECT_EQ(ring.num_layers % 2, 0u);
+  EXPECT_TRUE(ring.graph.is_connected());
+  EXPECT_EQ(ring.cross_latency, 16);
+  // s = c*n*alpha with c in [1, 1.5): between 16 and 24.
+  EXPECT_GE(ring.layer_size, 16u);
+  EXPECT_LE(ring.layer_size, 24u);
+}
+
+TEST(Theorem8, ValidatesInput) {
+  Rng rng(29);
+  EXPECT_THROW(make_theorem8_network(64, 0.0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(make_theorem8_network(4, 0.5, 4, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,174 @@
+// Tests for the guessing game Guessing(2m, P) and Alice strategies
+// (Section 3.1, Lemmas 4-5).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "game/game.h"
+#include "game/strategies.h"
+
+namespace latgossip {
+namespace {
+
+TEST(Game, EmptyTargetIsSolvedImmediately) {
+  GuessingGame game(4, {});
+  EXPECT_TRUE(game.solved());
+  EXPECT_EQ(game.initial_target_size(), 0u);
+  EXPECT_THROW(game.submit_round({{0, 0}}), std::logic_error);
+}
+
+TEST(Game, HitRevealedAndBColumnCleared) {
+  // Target {(0,1), (2,1), (3,3)}: hitting (0,1) must clear (2,1) too.
+  GuessingGame game(4, {{0, 1}, {2, 1}, {3, 3}});
+  EXPECT_EQ(game.target_remaining(), 3u);
+  const auto hits = game.submit_round({{0, 1}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (GuessPair{0, 1}));
+  EXPECT_EQ(game.target_remaining(), 1u);  // only (3,3) survives
+  EXPECT_FALSE(game.solved());
+  const auto hits2 = game.submit_round({{3, 3}});
+  EXPECT_EQ(hits2.size(), 1u);
+  EXPECT_TRUE(game.solved());
+  EXPECT_EQ(game.rounds_played(), 2u);
+}
+
+TEST(Game, MissesRevealNothing) {
+  GuessingGame game(4, {{1, 1}});
+  const auto hits = game.submit_round({{0, 0}, {2, 2}});
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(game.target_remaining(), 1u);
+}
+
+TEST(Game, RemovedPairsNoLongerHit) {
+  // Both targets share b = 1; hitting one clears the whole column and
+  // solves the game in a single round (update rule (2)).
+  GuessingGame game(4, {{0, 1}, {2, 1}});
+  const auto hits = game.submit_round({{0, 1}});
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(game.solved());
+  // A third target in another column survives a same-column hit.
+  GuessingGame game2(4, {{0, 1}, {2, 1}, {2, 2}});
+  game2.submit_round({{0, 1}});
+  EXPECT_EQ(game2.target_remaining(), 1u);
+  // The removed pair no longer registers as a hit.
+  const auto hits2 = game2.submit_round({{2, 1}});
+  EXPECT_TRUE(hits2.empty());
+  EXPECT_FALSE(game2.solved());
+}
+
+TEST(Game, GuessBudgetEnforced) {
+  GuessingGame game(2, {{0, 0}});
+  std::vector<GuessPair> too_many(5, {0, 1});
+  EXPECT_THROW(game.submit_round(too_many), std::invalid_argument);
+}
+
+TEST(Game, ValidatesRanges) {
+  EXPECT_THROW(GuessingGame(3, {{3, 0}}), std::invalid_argument);
+  GuessingGame game(3, {{0, 0}});
+  EXPECT_THROW(game.submit_round({{0, 3}}), std::invalid_argument);
+}
+
+TEST(Game, DuplicateTargetEntriesCollapse) {
+  GuessingGame game(3, {{1, 1}, {1, 1}});
+  EXPECT_EQ(game.initial_target_size(), 1u);
+}
+
+TEST(Strategies, SystematicSolvesSingletonWithinHalfM) {
+  // Sweeping 2m guesses/round over m^2 pairs finds any singleton in at
+  // most m/2 rounds.
+  const std::size_t m = 32;
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    TargetSet t{{rng.uniform(m), rng.uniform(m)}};
+    GuessingGame game(m, t);
+    SystematicSweepStrategy strat(m);
+    const PlayResult r = play_game(game, strat, 10 * m);
+    EXPECT_TRUE(r.solved);
+    EXPECT_LE(r.rounds, m / 2);
+  }
+}
+
+TEST(Strategies, SingletonNeedsLinearRounds) {
+  // Lemma 4 shape: rounds grow linearly in m for the uniform singleton.
+  Rng rng(3);
+  double small_mean = 0, large_mean = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (std::size_t m : {16u, 64u}) {
+      TargetSet t{{rng.uniform(m), rng.uniform(m)}};
+      GuessingGame game(m, t);
+      AdaptiveCouponStrategy strat(m);
+      const PlayResult r = play_game(game, strat, 10 * m);
+      EXPECT_TRUE(r.solved);
+      (m == 16 ? small_mean : large_mean) +=
+          static_cast<double>(r.rounds) / trials;
+    }
+  }
+  // Quadrupling m should roughly quadruple the rounds.
+  EXPECT_GT(large_mean, 2.5 * small_mean);
+}
+
+TEST(Strategies, AdaptiveSolvesRandomP) {
+  const std::size_t m = 48;
+  Rng rng(5);
+  GuessingGame game(m, make_random_p_target(m, 0.1, rng));
+  AdaptiveCouponStrategy strat(m);
+  const PlayResult r = play_game(game, strat, 50 * m);
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(Strategies, RandomPerSideSolvesRandomP) {
+  const std::size_t m = 48;
+  Rng rng(7);
+  GuessingGame game(m, make_random_p_target(m, 0.2, rng));
+  RandomPerSideStrategy strat(m, Rng(9));
+  const PlayResult r = play_game(game, strat, 5000);
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(Strategies, RandomPerSideSlowerThanAdaptiveOnRandomP) {
+  // Lemma 5: random guessing pays an extra log m factor over the
+  // adaptive (fresh-pair) strategy. Compare means over several trials.
+  const std::size_t m = 64;
+  const double p = 0.08;
+  double adaptive_mean = 0, random_mean = 0;
+  const int trials = 15;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng target_rng(100 + trial);
+    const TargetSet t = make_random_p_target(m, p, target_rng);
+    {
+      GuessingGame game(m, t);
+      AdaptiveCouponStrategy strat(m);
+      adaptive_mean +=
+          static_cast<double>(play_game(game, strat, 100000).rounds) / trials;
+    }
+    {
+      GuessingGame game(m, t);
+      RandomPerSideStrategy strat(m, Rng(200 + trial));
+      random_mean +=
+          static_cast<double>(play_game(game, strat, 100000).rounds) / trials;
+    }
+  }
+  EXPECT_GT(random_mean, 1.5 * adaptive_mean);
+}
+
+TEST(Strategies, RandomPerSideBudgetIs2m) {
+  RandomPerSideStrategy strat(10, Rng(1));
+  EXPECT_EQ(strat.next_guesses(0).size(), 20u);
+}
+
+TEST(Strategies, AdaptiveNeverRepeatsAGuess) {
+  const std::size_t m = 12;
+  AdaptiveCouponStrategy strat(m);
+  std::set<GuessPair> seen;
+  for (std::size_t round = 0; round < m; ++round) {
+    for (const auto& gp : strat.next_guesses(round)) {
+      EXPECT_TRUE(seen.insert(gp).second) << "repeated guess";
+    }
+    strat.observe({}, {});
+  }
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,139 @@
+// Unit tests for WeightedGraph and DirectedGraph.
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+
+namespace latgossip {
+namespace {
+
+TEST(WeightedGraph, EmptyGraph) {
+  WeightedGraph g(0);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(WeightedGraph, AddEdgeBasics) {
+  WeightedGraph g(3);
+  const EdgeId e = g.add_edge(0, 1, 5);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.latency(e), 5);
+  EXPECT_EQ(g.edge(e).u, 0u);
+  EXPECT_EQ(g.edge(e).v, 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.other_endpoint(e, 0), 1u);
+  EXPECT_EQ(g.other_endpoint(e, 1), 0u);
+  EXPECT_THROW(g.other_endpoint(e, 2), std::invalid_argument);
+}
+
+TEST(WeightedGraph, RejectsSelfLoop) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(WeightedGraph, RejectsDuplicateEitherOrientation) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(WeightedGraph, RejectsBadLatency) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -3), std::invalid_argument);
+}
+
+TEST(WeightedGraph, RejectsOutOfRangeEndpoint) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(WeightedGraph, FindEdgeBothDirections) {
+  WeightedGraph g(4);
+  const EdgeId e = g.add_edge(2, 3, 7);
+  EXPECT_EQ(g.find_edge(2, 3), e);
+  EXPECT_EQ(g.find_edge(3, 2), e);
+  EXPECT_FALSE(g.find_edge(0, 1).has_value());
+  EXPECT_FALSE(g.find_edge(2, 2).has_value());
+}
+
+TEST(WeightedGraph, SetLatencyMutates) {
+  WeightedGraph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1);
+  g.set_latency(e, 9);
+  EXPECT_EQ(g.latency(e), 9);
+  EXPECT_THROW(g.set_latency(e, 0), std::invalid_argument);
+}
+
+TEST(WeightedGraph, DegreeAndLatencyExtremes) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 8);
+  g.add_edge(0, 3, 5);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.max_latency(), 8);
+  EXPECT_EQ(g.min_latency(), 2);
+}
+
+TEST(WeightedGraph, ConnectivityDetection) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(WeightedGraph, VolumeMatchesDefinition) {
+  // Path 0-1-2: deg = 1,2,1.
+  WeightedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.volume({true, false, false}), 1u);
+  EXPECT_EQ(g.volume({true, true, false}), 3u);
+  EXPECT_EQ(g.volume({true, true, true}), 4u);  // = 2|E|
+  EXPECT_THROW(g.volume({true}), std::invalid_argument);
+}
+
+TEST(WeightedGraph, NeighborsSpan) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 4);
+  g.add_edge(0, 2, 6);
+  const auto neigh = g.neighbors(0);
+  ASSERT_EQ(neigh.size(), 2u);
+  EXPECT_EQ(neigh[0].to, 1u);
+  EXPECT_EQ(neigh[1].to, 2u);
+  EXPECT_EQ(g.latency(neigh[1].edge), 6);
+}
+
+TEST(DirectedGraph, ArcBasics) {
+  DirectedGraph d(3);
+  d.add_arc(0, 1, 2);
+  d.add_arc(0, 2, 3);
+  d.add_arc(2, 0, 1);
+  EXPECT_EQ(d.num_arcs(), 3u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+  EXPECT_EQ(d.out_degree(1), 0u);
+  EXPECT_EQ(d.max_out_degree(), 2u);
+  EXPECT_THROW(d.add_arc(1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(d.add_arc(0, 1, 0), std::invalid_argument);
+}
+
+TEST(DirectedGraph, ToUndirectedCollapsesOppositeArcs) {
+  DirectedGraph d(3);
+  d.add_arc(0, 1, 5);
+  d.add_arc(1, 0, 3);  // opposite direction, smaller latency wins
+  d.add_arc(1, 2, 7);
+  const WeightedGraph g = d.to_undirected();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.latency(*g.find_edge(0, 1)), 3);
+  EXPECT_EQ(g.latency(*g.find_edge(1, 2)), 7);
+}
+
+}  // namespace
+}  // namespace latgossip

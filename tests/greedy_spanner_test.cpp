@@ -1,0 +1,75 @@
+// Tests for the greedy (2k-1)-spanner ablation baseline.
+
+#include <gtest/gtest.h>
+
+#include "analysis/spanner_check.h"
+#include "core/spanner.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+namespace latgossip {
+namespace {
+
+TEST(GreedySpanner, KEqualsOneKeepsShortestEdges) {
+  // stretch bound 1: an edge is kept iff no strictly shorter path
+  // exists; on a unit clique every edge's alternative path has length 2
+  // > 1, so all edges stay.
+  const auto g = make_clique(6);
+  const auto s = build_greedy_spanner(g, 1);
+  EXPECT_EQ(s.num_arcs(), g.num_edges());
+}
+
+TEST(GreedySpanner, StretchBoundHolds) {
+  Rng gen(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto g = make_erdos_renyi(36, 0.25, gen);
+    assign_random_uniform_latency(g, 1, 20, gen);
+    for (std::size_t k : {2u, 3u, 4u}) {
+      const auto s = build_greedy_spanner(g, k);
+      const auto stats = check_spanner_exact(g, s);
+      EXPECT_TRUE(stats.connected);
+      EXPECT_LE(stats.max_stretch, static_cast<double>(2 * k - 1) + 1e-9);
+    }
+  }
+}
+
+TEST(GreedySpanner, SparserThanOrComparableToBaswanaSen) {
+  // Greedy is the sparsest-known construction; it should never be much
+  // denser than Baswana-Sen at the same k.
+  Rng gen(7);
+  auto g = make_clique(48);
+  assign_random_uniform_latency(g, 1, 40, gen);
+  for (std::size_t k : {2u, 3u}) {
+    const auto greedy = build_greedy_spanner(g, k);
+    Rng rng(11 + k);
+    const auto bs = build_baswana_sen_spanner(g, {k, 0}, rng);
+    EXPECT_LE(greedy.num_arcs(), bs.num_arcs() + 48);
+  }
+}
+
+TEST(GreedySpanner, TreeIsKeptEntirely) {
+  auto g = make_binary_tree(31);
+  Rng gen(13);
+  assign_random_uniform_latency(g, 1, 9, gen);
+  const auto s = build_greedy_spanner(g, 3);
+  EXPECT_EQ(s.num_arcs(), g.num_edges());
+}
+
+TEST(GreedySpanner, DeterministicAndOrientedLowToHigh) {
+  auto g = make_clique(12);
+  Rng gen(17);
+  assign_random_uniform_latency(g, 1, 30, gen);
+  const auto a = build_greedy_spanner(g, 2);
+  const auto b = build_greedy_spanner(g, 2);
+  EXPECT_EQ(a.num_arcs(), b.num_arcs());
+  for (NodeId u = 0; u < a.num_nodes(); ++u)
+    for (const Arc& arc : a.out_arcs(u)) EXPECT_LT(u, arc.to);
+}
+
+TEST(GreedySpanner, ValidatesK) {
+  const auto g = make_path(3);
+  EXPECT_THROW(build_greedy_spanner(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,142 @@
+// Tests for the Baswana-Sen oriented spanner (Lemma 13 / Theorem 14).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/distance.h"
+#include "analysis/spanner_check.h"
+#include "core/spanner.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+namespace latgossip {
+namespace {
+
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < x) ++k;
+  return std::max<std::size_t>(k, 1);
+}
+
+TEST(Spanner, KEqualsOneKeepsAllEdges) {
+  // A (2*1-1)=1-spanner must preserve exact distances, which forces
+  // every edge of a clique with distinct weights to stay.
+  auto g = make_clique(8);
+  Rng latr(1);
+  assign_random_uniform_latency(g, 1, 20, latr);
+  Rng rng(2);
+  const auto spanner = build_baswana_sen_spanner(g, {1, 0}, rng);
+  const auto stats = check_spanner_exact(g, spanner);
+  EXPECT_LE(stats.max_stretch, 1.0 + 1e-9);
+}
+
+TEST(Spanner, StretchWithinTwoKMinusOne) {
+  Rng seed(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto g = make_erdos_renyi(40, 0.2, seed);
+    assign_random_uniform_latency(g, 1, 30, seed);
+    for (std::size_t k : {2u, 3u}) {
+      Rng rng(50 + trial);
+      const auto spanner = build_baswana_sen_spanner(g, {k, 0}, rng);
+      const auto stats = check_spanner_exact(g, spanner);
+      EXPECT_TRUE(stats.connected);
+      EXPECT_LE(stats.max_stretch, static_cast<double>(2 * k - 1) + 1e-9)
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Spanner, SparsifiesDenseGraphs) {
+  auto g = make_clique(60);
+  Rng latr(5);
+  assign_random_uniform_latency(g, 1, 50, latr);
+  Rng rng(7);
+  const std::size_t k = 3;
+  const auto spanner = build_baswana_sen_spanner(g, {k, 0}, rng);
+  // K60 has 1770 edges; a k=3 spanner should be much sparser.
+  EXPECT_LT(spanner.num_arcs(), 900u);
+}
+
+TEST(Spanner, OutDegreeSmallWithLogNK) {
+  // With k = log2(n), out-degree should be O(log n)-ish (Lemma 13).
+  auto g = make_clique(64);
+  Rng latr(9);
+  assign_random_uniform_latency(g, 1, 100, latr);
+  Rng rng(11);
+  const auto spanner = build_baswana_sen_spanner(g, {0, 0}, rng);  // defaults
+  const std::size_t logn = ceil_log2(64);
+  EXPECT_LE(spanner.max_out_degree(), 8 * logn);
+}
+
+TEST(Spanner, OverestimatedNHatStillWorks) {
+  // Lemma 13: only an estimate n <= n_hat <= n^c is available.
+  Rng gen(12);
+  auto g = make_erdos_renyi(30, 0.25, gen);
+  assign_random_uniform_latency(g, 1, 10, gen);
+  Rng rng(13);
+  const std::size_t n = g.num_nodes();
+  const auto spanner =
+      build_baswana_sen_spanner(g, {3, n * n}, rng);  // n_hat = n^2
+  const auto stats = check_spanner_exact(g, spanner);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_LE(stats.max_stretch, 5.0 + 1e-9);
+
+  EXPECT_THROW(build_baswana_sen_spanner(g, {3, 2}, rng),
+               std::invalid_argument);  // n_hat < n rejected
+}
+
+TEST(Spanner, CappedVariantIgnoresSlowEdges) {
+  // Two triangles joined by a slow bridge: the capped spanner of G_1
+  // must contain no bridge arc and must keep each triangle connected.
+  const auto g = make_dumbbell(3, 1, 50);
+  Rng rng(17);
+  const auto spanner = build_baswana_sen_spanner_capped(g, 1, {2, 0}, rng);
+  for (NodeId u = 0; u < spanner.num_nodes(); ++u)
+    for (const Arc& a : spanner.out_arcs(u)) EXPECT_LE(a.latency, 1);
+  const auto undirected = spanner.to_undirected();
+  // Both triangle sides internally connected.
+  const auto d0 = dijkstra(undirected, 0);
+  EXPECT_NE(d0[1], kUnreachable);
+  EXPECT_NE(d0[2], kUnreachable);
+}
+
+TEST(Spanner, TreeInputKeepsAllTreeEdges) {
+  // A spanner of a tree must contain every edge (removing any edge
+  // disconnects it, contradicting finite stretch).
+  auto g = make_binary_tree(31);
+  Rng latr(19);
+  assign_random_uniform_latency(g, 1, 9, latr);
+  Rng rng(23);
+  const auto spanner = build_baswana_sen_spanner(g, {3, 0}, rng);
+  const auto undirected = spanner.to_undirected();
+  EXPECT_EQ(undirected.num_edges(), g.num_edges());
+  EXPECT_TRUE(undirected.is_connected());
+}
+
+TEST(SpannerCheck, SampledAgreesWithExactOnSmallGraph) {
+  auto g = make_grid(4, 4);
+  Rng latr(29);
+  assign_random_uniform_latency(g, 1, 5, latr);
+  Rng rng(31);
+  const auto spanner = build_baswana_sen_spanner(g, {2, 0}, rng);
+  const auto exact = check_spanner_exact(g, spanner);
+  Rng sample_rng(37);
+  const auto sampled = check_spanner_sampled(g, spanner, 16, sample_rng);
+  EXPECT_DOUBLE_EQ(exact.max_stretch, sampled.max_stretch);
+  EXPECT_EQ(exact.num_arcs, sampled.num_arcs);
+}
+
+TEST(Spanner, DeterministicGivenSeed) {
+  auto g = make_clique(20);
+  Rng latr(41);
+  assign_random_uniform_latency(g, 1, 9, latr);
+  Rng r1(43), r2(43);
+  const auto a = build_baswana_sen_spanner(g, {3, 0}, r1);
+  const auto b = build_baswana_sen_spanner(g, {3, 0}, r2);
+  EXPECT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_EQ(a.max_out_degree(), b.max_out_degree());
+}
+
+}  // namespace
+}  // namespace latgossip

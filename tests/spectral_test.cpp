@@ -1,0 +1,110 @@
+// Tests for the spectral sweep-cut conductance approximation.
+
+#include <gtest/gtest.h>
+
+#include "analysis/conductance.h"
+#include "analysis/spectral.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+
+namespace latgossip {
+namespace {
+
+TEST(Sweep, UpperBoundsExactValue) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto g = make_erdos_renyi(12, 0.35, rng);
+    assign_random_uniform_latency(g, 1, 5, rng);
+    for (Latency ell : {1, 3, 5}) {
+      Rng sweep_rng(100 + trial);
+      const double approx =
+          weight_ell_conductance_sweep(g, ell, 200, sweep_rng).phi;
+      const double exact = weight_ell_conductance_exact(g, ell).phi;
+      EXPECT_GE(approx, exact - 1e-9);
+    }
+  }
+}
+
+TEST(Sweep, FindsObviousBottleneck) {
+  // Dumbbell: the sweep embedding separates the two cliques, so the
+  // sweep cut should recover the exact (bridge) conductance.
+  const auto g = make_dumbbell(6, 1, 1);
+  Rng rng(5);
+  const double approx = weight_ell_conductance_sweep(g, 1, 400, rng).phi;
+  const double exact = conductance_exact(g).phi;
+  EXPECT_NEAR(approx, exact, 1e-9);
+}
+
+TEST(Sweep, CycleCloseToExact) {
+  const auto g = make_cycle(16);
+  Rng rng(7);
+  const double approx = weight_ell_conductance_sweep(g, 1, 400, rng).phi;
+  const double exact = conductance_exact(g, 24).phi;
+  EXPECT_GE(approx, exact - 1e-9);
+  EXPECT_LE(approx, exact * 2.5);  // Cheeger-style slack
+}
+
+TEST(Sweep, ZeroWhenNoFastEdgesCrossBottleneck) {
+  // Two triangles, slow bridge: at ell = 1 the graph splits, φ_1 = 0.
+  const auto g = make_dumbbell(3, 1, 9);
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(weight_ell_conductance_sweep(g, 1, 200, rng).phi, 0.0);
+}
+
+TEST(Sweep, ReturnsValidCut) {
+  const auto g = make_dumbbell(4, 1, 1);
+  Rng rng(11);
+  const CutResult r = weight_ell_conductance_sweep(g, 1, 300, rng);
+  ASSERT_EQ(r.argmin_cut.size(), g.num_nodes());
+  EXPECT_DOUBLE_EQ(phi_ell_of_cut(g, r.argmin_cut, 1), r.phi);
+}
+
+TEST(Sweep, WeightedSelectionMonotoneAndBounded) {
+  Rng rng(13);
+  auto g = make_erdos_renyi(14, 0.3, rng);
+  assign_two_level_latency(g, 1, 10, 0.5, rng);
+  Rng sweep_rng(17);
+  const auto wc = weighted_conductance_sweep(g, 200, sweep_rng);
+  ASSERT_GE(wc.levels.size(), 1u);
+  for (std::size_t i = 1; i < wc.phi.size(); ++i)
+    EXPECT_GE(wc.phi[i], wc.phi[i - 1]);
+  const auto exact = weighted_conductance_exact(g);
+  // The sweep's phi* must upper bound some exact level ratio; weaker
+  // but sufficient: sweep phi at max level >= exact phi at max level.
+  EXPECT_GE(wc.phi.back(), exact.phi.back() - 1e-9);
+}
+
+TEST(Sweep, AutoDispatcherPicksExactOnSmallGraphs) {
+  const auto g = make_dumbbell(3, 1, 5);
+  Rng rng(19);
+  bool exact = false;
+  const auto wc = weighted_conductance_auto(g, 20, 100, rng, &exact);
+  EXPECT_TRUE(exact);
+  const auto reference = weighted_conductance_exact(g);
+  EXPECT_DOUBLE_EQ(wc.phi_star, reference.phi_star);
+  EXPECT_EQ(wc.ell_star, reference.ell_star);
+}
+
+TEST(Sweep, AutoDispatcherFallsBackToSweep) {
+  Rng gen(23);
+  auto g = make_erdos_renyi(40, 0.2, gen);
+  Rng rng(29);
+  bool exact = true;
+  const auto wc = weighted_conductance_auto(g, 20, 150, rng, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_GT(wc.phi_star, 0.0);
+}
+
+TEST(Sweep, ValidatesInput) {
+  const auto g = make_path(3);
+  Rng rng(1);
+  EXPECT_THROW(weight_ell_conductance_sweep(g, 1, 0, rng),
+               std::invalid_argument);
+  WeightedGraph isolated(3);
+  isolated.add_edge(0, 1, 1);
+  EXPECT_THROW(weight_ell_conductance_sweep(isolated, 1, 10, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace latgossip

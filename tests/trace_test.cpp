@@ -1,0 +1,92 @@
+// Tests for simulation tracing (sim/trace.h) and the umbrella header.
+
+#include <gtest/gtest.h>
+
+#include "latgossip.h"  // umbrella header must compile standalone
+
+namespace latgossip {
+namespace {
+
+TEST(Trace, RecordsEveryActivation) {
+  const auto g = make_path(4);
+  NetworkView view(g, false);
+  RoundRobinFlooding proto(view, GossipGoal::kAllToAll, 0, own_id_rumors(4));
+  SimTrace trace;
+  SimOptions opts;
+  trace.attach(opts);
+  opts.max_rounds = 10'000;
+  const SimResult r = run_gossip(g, proto, opts);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(trace.size(), r.activations);
+}
+
+TEST(Trace, ChainsExistingObserver) {
+  const auto g = make_path(3);
+  NetworkView view(g, false);
+  RoundRobinFlooding proto(view, GossipGoal::kAllToAll, 0, own_id_rumors(3));
+  std::size_t external = 0;
+  SimOptions opts;
+  opts.on_activation = [&](NodeId, NodeId, EdgeId, Round) { ++external; };
+  SimTrace trace;
+  trace.attach(opts);
+  opts.max_rounds = 10'000;
+  run_gossip(g, proto, opts);
+  EXPECT_EQ(external, trace.size());
+  EXPECT_GT(external, 0u);
+}
+
+TEST(Trace, PerRoundAndPerEdgeCounts) {
+  WeightedGraph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  const EdgeId e12 = g.add_edge(1, 2, 1);
+
+  struct TwoShots {
+    using Payload = int;
+    std::optional<NodeId> select_contact(NodeId u, Round r) {
+      if (u == 0 && r == 0) return 1;
+      if (u == 1 && r == 2) return 2;
+      return std::nullopt;
+    }
+    Payload capture_payload(NodeId, Round) const { return 0; }
+    void deliver(NodeId, NodeId, Payload, EdgeId, Round, Round) {}
+    bool done(Round) const { return false; }
+  } proto;
+
+  SimTrace trace;
+  SimOptions opts;
+  trace.attach(opts);
+  opts.max_rounds = 10;
+  opts.stop_when_idle = false;  // round 1 is silent by design
+  run_gossip(g, proto, opts);
+  EXPECT_EQ(trace.activations_in_round(0), 1u);
+  EXPECT_EQ(trace.activations_in_round(1), 0u);
+  EXPECT_EQ(trace.activations_in_round(2), 1u);
+  const auto counts = trace.per_edge_counts(g.num_edges());
+  EXPECT_EQ(counts[e01], 1u);
+  EXPECT_EQ(counts[e12], 1u);
+}
+
+TEST(Trace, CsvFormat) {
+  SimTrace trace;
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1);
+  struct OneShot {
+    using Payload = int;
+    std::optional<NodeId> select_contact(NodeId u, Round r) {
+      return (u == 0 && r == 0) ? std::optional<NodeId>(1) : std::nullopt;
+    }
+    Payload capture_payload(NodeId, Round) const { return 0; }
+    void deliver(NodeId, NodeId, Payload, EdgeId, Round, Round) {}
+    bool done(Round) const { return false; }
+  } proto;
+  SimOptions opts;
+  trace.attach(opts);
+  opts.max_rounds = 5;
+  run_gossip(g, proto, opts);
+  EXPECT_EQ(trace.to_csv(), "round,initiator,responder,edge\n0,0,1,0\n");
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,252 @@
+// latgossip — command-line front end for the library.
+//
+//   latgossip gen --family=<name> [family params] --out=FILE [latency opts]
+//   latgossip analyze --in=FILE [--sweep-iters=N]
+//   latgossip run --in=FILE --proto=<pushpull|flooding|eid|tk|unified>
+//                 [--source=0] [--seed=1] [--trace=FILE.csv]
+//   latgossip game --m=N [--p=0.1] --strategy=<adaptive|systematic|random>
+//
+// Families: clique, cycle, path, star, grid (--rows, --cols), er (--p),
+// regular (--d), ws (--k --beta), ba (--attach), ring_cliques
+// (--cliques --size --bridge), dumbbell (--size --bridge), thm8
+// (--alpha --ell). Latency options: --lat-uniform=L |
+// --lat-range=LO,HI | --lat-twolevel=FAST,SLOW,PFAST.
+
+#include <cstdio>
+#include <string>
+
+#include "latgossip.h"
+
+using namespace latgossip;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: latgossip <gen|analyze|run|game> [--flags]\n"
+               "see the header of tools/latgossip_cli.cpp for details\n");
+  return 2;
+}
+
+void apply_latency_flags(WeightedGraph& g, const Args& args, Rng& rng) {
+  if (args.has("lat-uniform")) {
+    assign_uniform_latency(g, args.get_int("lat-uniform", 1));
+  } else if (args.has("lat-range")) {
+    const std::string spec = args.get("lat-range", "1,1");
+    const auto comma = spec.find(',');
+    if (comma == std::string::npos)
+      throw std::invalid_argument("--lat-range wants LO,HI");
+    assign_random_uniform_latency(
+        g, std::stoll(spec.substr(0, comma)),
+        std::stoll(spec.substr(comma + 1)), rng);
+  } else if (args.has("lat-twolevel")) {
+    const std::string spec = args.get("lat-twolevel", "1,10,0.5");
+    const auto c1 = spec.find(',');
+    const auto c2 = spec.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos)
+      throw std::invalid_argument("--lat-twolevel wants FAST,SLOW,PFAST");
+    assign_two_level_latency(g, std::stoll(spec.substr(0, c1)),
+                             std::stoll(spec.substr(c1 + 1, c2 - c1 - 1)),
+                             std::stod(spec.substr(c2 + 1)), rng);
+  }
+}
+
+WeightedGraph generate(const Args& args, Rng& rng) {
+  const std::string family = args.get("family", "er");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 32));
+  if (family == "clique") return make_clique(n);
+  if (family == "cycle") return make_cycle(n);
+  if (family == "path") return make_path(n);
+  if (family == "star") return make_star(n);
+  if (family == "grid")
+    return make_grid(static_cast<std::size_t>(args.get_int("rows", 4)),
+                     static_cast<std::size_t>(args.get_int("cols", 4)));
+  if (family == "er")
+    return make_erdos_renyi(n, args.get_double("p", 0.2), rng);
+  if (family == "regular")
+    return make_random_regular(
+        n, static_cast<std::size_t>(args.get_int("d", 4)), rng);
+  if (family == "ws")
+    return make_watts_strogatz(
+        n, static_cast<std::size_t>(args.get_int("k", 2)),
+        args.get_double("beta", 0.1), rng);
+  if (family == "ba")
+    return make_barabasi_albert(
+        n, static_cast<std::size_t>(args.get_int("attach", 2)), rng);
+  if (family == "ring_cliques")
+    return make_ring_of_cliques(
+        static_cast<std::size_t>(args.get_int("cliques", 4)),
+        static_cast<std::size_t>(args.get_int("size", 4)),
+        args.get_int("bridge", 1));
+  if (family == "dumbbell")
+    return make_dumbbell(static_cast<std::size_t>(args.get_int("size", 5)),
+                         1, args.get_int("bridge", 1));
+  if (family == "thm8")
+    return make_theorem8_network(n, args.get_double("alpha", 0.25),
+                                 args.get_int("ell", 8), rng)
+        .graph;
+  throw std::invalid_argument("unknown family '" + family + "'");
+}
+
+int cmd_gen(const Args& args) {
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  WeightedGraph g = generate(args, rng);
+  apply_latency_flags(g, args, rng);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fputs(graph_to_string(g).c_str(), stdout);
+  } else {
+    save_graph(out, g);
+    std::printf("wrote %zu nodes / %zu edges to %s\n", g.num_nodes(),
+                g.num_edges(), out.c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) return usage();
+  const WeightedGraph g = load_graph(in);
+  std::printf("nodes          %zu\n", g.num_nodes());
+  std::printf("edges          %zu\n", g.num_edges());
+  std::printf("max degree     %zu\n", g.max_degree());
+  std::printf("latency range  [%lld, %lld]\n",
+              static_cast<long long>(g.min_latency()),
+              static_cast<long long>(g.max_latency()));
+  std::printf("connected      %s\n", g.is_connected() ? "yes" : "NO");
+  if (!g.is_connected()) return 0;
+  std::printf("weighted D     %lld\n",
+              static_cast<long long>(weighted_diameter(g)));
+  std::printf("hop D          %lld\n",
+              static_cast<long long>(hop_diameter(g)));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  bool exact = false;
+  const auto wc = weighted_conductance_auto(
+      g, 22, static_cast<int>(args.get_int("sweep-iters", 300)), rng,
+      &exact);
+  std::printf("phi*           %.6f (%s)\n", wc.phi_star,
+              exact ? "exact" : "sweep upper bound");
+  std::printf("ell*           %lld\n", static_cast<long long>(wc.ell_star));
+  std::printf("phi_ell profile:");
+  for (std::size_t i = 0; i < wc.levels.size(); ++i)
+    std::printf(" (%lld: %.4f)", static_cast<long long>(wc.levels[i]),
+                wc.phi[i]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) return usage();
+  const WeightedGraph g = load_graph(in);
+  const std::size_t n = g.num_nodes();
+  const std::string proto_name = args.get("proto", "pushpull");
+  const auto source = static_cast<NodeId>(args.get_int("source", 0));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  SimTrace trace;
+  SimOptions opts;
+  opts.max_rounds = args.get_int("max-rounds", 5'000'000);
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) trace.attach(opts);
+
+  SimResult result;
+  bool complete = false;
+  if (proto_name == "pushpull") {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, source, rng);
+    result = run_gossip(g, proto, opts);
+    complete = result.completed;
+  } else if (proto_name == "flooding") {
+    NetworkView view(g, false);
+    RoundRobinFlooding proto(view, GossipGoal::kAllToAll, source,
+                             own_id_rumors(n));
+    result = run_gossip(g, proto, opts);
+    complete = result.completed;
+  } else if (proto_name == "eid") {
+    const GeneralEidOutcome out = run_general_eid(g, 0, rng);
+    result = out.sim;
+    complete = out.success;
+  } else if (proto_name == "tk") {
+    const PathDiscoveryOutcome out = run_path_discovery(g);
+    result = out.sim;
+    complete = out.success;
+  } else if (proto_name == "unified") {
+    UnifiedOptions uopts;
+    uopts.latencies_known = args.get_bool("known-latencies");
+    const UnifiedOutcome out = run_unified(g, uopts, rng);
+    result.rounds = out.unified_rounds;
+    complete = out.completed;
+    std::printf("winner         %s\n",
+                out.winner == UnifiedWinner::kPushPull ? "push-pull"
+                                                        : "spanner");
+  } else {
+    return usage();
+  }
+
+  std::printf("protocol       %s\n", proto_name.c_str());
+  std::printf("rounds         %lld\n", static_cast<long long>(result.rounds));
+  std::printf("complete       %s\n", complete ? "yes" : "NO");
+  std::printf("exchanges      %zu\n", result.activations);
+  std::printf("payload bits   %zu\n", result.payload_bits);
+  if (!trace_path.empty()) {
+    FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fputs(trace.to_csv().c_str(), f);
+    std::fclose(f);
+    std::printf("trace          %s (%zu events)\n", trace_path.c_str(),
+                trace.size());
+  }
+  return 0;
+}
+
+int cmd_game(const Args& args) {
+  const auto m = static_cast<std::size_t>(args.get_int("m", 64));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const TargetSet target =
+      args.has("p") ? make_random_p_target(m, args.get_double("p", 0.1), rng)
+                    : make_singleton_target(m, rng);
+  GuessingGame game(m, target);
+  const std::string which = args.get("strategy", "adaptive");
+  PlayResult result;
+  if (which == "adaptive") {
+    AdaptiveCouponStrategy s(m);
+    result = play_game(game, s, 1'000'000);
+  } else if (which == "systematic") {
+    SystematicSweepStrategy s(m);
+    result = play_game(game, s, 1'000'000);
+  } else if (which == "random") {
+    RandomPerSideStrategy s(m, rng.fork(1));
+    result = play_game(game, s, 1'000'000);
+  } else {
+    return usage();
+  }
+  std::printf("m              %zu\n", m);
+  std::printf("initial |T|    %zu\n", game.initial_target_size());
+  std::printf("strategy       %s\n", which.c_str());
+  std::printf("rounds         %zu\n", result.rounds);
+  std::printf("guesses        %zu\n", result.guesses);
+  std::printf("solved         %s\n", result.solved ? "yes" : "NO");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "game") return cmd_game(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
