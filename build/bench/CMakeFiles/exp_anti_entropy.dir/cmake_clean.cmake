@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_anti_entropy.dir/exp_anti_entropy.cpp.o"
+  "CMakeFiles/exp_anti_entropy.dir/exp_anti_entropy.cpp.o.d"
+  "exp_anti_entropy"
+  "exp_anti_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_anti_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

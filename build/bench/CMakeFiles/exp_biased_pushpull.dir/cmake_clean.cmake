@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_biased_pushpull.dir/exp_biased_pushpull.cpp.o"
+  "CMakeFiles/exp_biased_pushpull.dir/exp_biased_pushpull.cpp.o.d"
+  "exp_biased_pushpull"
+  "exp_biased_pushpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_biased_pushpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_conductance_quality.dir/exp_conductance_quality.cpp.o"
+  "CMakeFiles/exp_conductance_quality.dir/exp_conductance_quality.cpp.o.d"
+  "exp_conductance_quality"
+  "exp_conductance_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_conductance_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_eid_scaling.dir/exp_eid_scaling.cpp.o"
+  "CMakeFiles/exp_eid_scaling.dir/exp_eid_scaling.cpp.o.d"
+  "exp_eid_scaling"
+  "exp_eid_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_eid_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_game_randomp.dir/exp_game_randomp.cpp.o"
+  "CMakeFiles/exp_game_randomp.dir/exp_game_randomp.cpp.o.d"
+  "exp_game_randomp"
+  "exp_game_randomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_game_randomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_game_randomp.
+# This may be replaced when dependencies are built.

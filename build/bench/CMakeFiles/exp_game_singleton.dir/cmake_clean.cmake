@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_game_singleton.dir/exp_game_singleton.cpp.o"
+  "CMakeFiles/exp_game_singleton.dir/exp_game_singleton.cpp.o.d"
+  "exp_game_singleton"
+  "exp_game_singleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_game_singleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_latency_discovery.dir/exp_latency_discovery.cpp.o"
+  "CMakeFiles/exp_latency_discovery.dir/exp_latency_discovery.cpp.o.d"
+  "exp_latency_discovery"
+  "exp_latency_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_latency_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

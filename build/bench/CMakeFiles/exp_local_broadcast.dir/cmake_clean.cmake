@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_local_broadcast.dir/exp_local_broadcast.cpp.o"
+  "CMakeFiles/exp_local_broadcast.dir/exp_local_broadcast.cpp.o.d"
+  "exp_local_broadcast"
+  "exp_local_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_local_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_message_complexity.dir/exp_message_complexity.cpp.o"
+  "CMakeFiles/exp_message_complexity.dir/exp_message_complexity.cpp.o.d"
+  "exp_message_complexity"
+  "exp_message_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_message_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

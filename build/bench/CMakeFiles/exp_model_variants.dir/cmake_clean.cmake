@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_model_variants.dir/exp_model_variants.cpp.o"
+  "CMakeFiles/exp_model_variants.dir/exp_model_variants.cpp.o.d"
+  "exp_model_variants"
+  "exp_model_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_model_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_pushpull_upper.dir/exp_pushpull_upper.cpp.o"
+  "CMakeFiles/exp_pushpull_upper.dir/exp_pushpull_upper.cpp.o.d"
+  "exp_pushpull_upper"
+  "exp_pushpull_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pushpull_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ring_conductance.dir/exp_ring_conductance.cpp.o"
+  "CMakeFiles/exp_ring_conductance.dir/exp_ring_conductance.cpp.o.d"
+  "exp_ring_conductance"
+  "exp_ring_conductance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ring_conductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

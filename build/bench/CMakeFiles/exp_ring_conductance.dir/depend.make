@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_ring_conductance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rr_broadcast.dir/exp_rr_broadcast.cpp.o"
+  "CMakeFiles/exp_rr_broadcast.dir/exp_rr_broadcast.cpp.o.d"
+  "exp_rr_broadcast"
+  "exp_rr_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rr_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_spanner_quality.dir/exp_spanner_quality.cpp.o"
+  "CMakeFiles/exp_spanner_quality.dir/exp_spanner_quality.cpp.o.d"
+  "exp_spanner_quality"
+  "exp_spanner_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_spanner_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_spread_curve.dir/exp_spread_curve.cpp.o"
+  "CMakeFiles/exp_spread_curve.dir/exp_spread_curve.cpp.o.d"
+  "exp_spread_curve"
+  "exp_spread_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_spread_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

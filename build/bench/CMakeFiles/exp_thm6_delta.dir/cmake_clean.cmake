@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm6_delta.dir/exp_thm6_delta.cpp.o"
+  "CMakeFiles/exp_thm6_delta.dir/exp_thm6_delta.cpp.o.d"
+  "exp_thm6_delta"
+  "exp_thm6_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm6_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm7_conductance.dir/exp_thm7_conductance.cpp.o"
+  "CMakeFiles/exp_thm7_conductance.dir/exp_thm7_conductance.cpp.o.d"
+  "exp_thm7_conductance"
+  "exp_thm7_conductance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm7_conductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

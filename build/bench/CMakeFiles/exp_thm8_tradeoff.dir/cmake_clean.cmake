@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm8_tradeoff.dir/exp_thm8_tradeoff.cpp.o"
+  "CMakeFiles/exp_thm8_tradeoff.dir/exp_thm8_tradeoff.cpp.o.d"
+  "exp_thm8_tradeoff"
+  "exp_thm8_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm8_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_thm8_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tk_schedule.dir/exp_tk_schedule.cpp.o"
+  "CMakeFiles/exp_tk_schedule.dir/exp_tk_schedule.cpp.o.d"
+  "exp_tk_schedule"
+  "exp_tk_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tk_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_unified.dir/exp_unified.cpp.o"
+  "CMakeFiles/exp_unified.dir/exp_unified.cpp.o.d"
+  "exp_unified"
+  "exp_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_conductance.dir/micro_conductance.cpp.o"
+  "CMakeFiles/micro_conductance.dir/micro_conductance.cpp.o.d"
+  "micro_conductance"
+  "micro_conductance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_conductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spanner.dir/micro_spanner.cpp.o"
+  "CMakeFiles/micro_spanner.dir/micro_spanner.cpp.o.d"
+  "micro_spanner"
+  "micro_spanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

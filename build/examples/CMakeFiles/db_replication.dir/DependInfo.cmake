@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/db_replication.cpp" "examples/CMakeFiles/db_replication.dir/db_replication.cpp.o" "gcc" "examples/CMakeFiles/db_replication.dir/db_replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latgossip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/latgossip_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/latgossip_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/latgossip_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/latgossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latgossip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

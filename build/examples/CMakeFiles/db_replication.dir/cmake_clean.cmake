@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_replication.dir/db_replication.cpp.o"
+  "CMakeFiles/db_replication.dir/db_replication.cpp.o.d"
+  "db_replication"
+  "db_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

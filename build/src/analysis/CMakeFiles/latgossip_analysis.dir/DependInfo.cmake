@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/conductance.cpp" "src/analysis/CMakeFiles/latgossip_analysis.dir/conductance.cpp.o" "gcc" "src/analysis/CMakeFiles/latgossip_analysis.dir/conductance.cpp.o.d"
+  "/root/repo/src/analysis/distance.cpp" "src/analysis/CMakeFiles/latgossip_analysis.dir/distance.cpp.o" "gcc" "src/analysis/CMakeFiles/latgossip_analysis.dir/distance.cpp.o.d"
+  "/root/repo/src/analysis/spanner_check.cpp" "src/analysis/CMakeFiles/latgossip_analysis.dir/spanner_check.cpp.o" "gcc" "src/analysis/CMakeFiles/latgossip_analysis.dir/spanner_check.cpp.o.d"
+  "/root/repo/src/analysis/spectral.cpp" "src/analysis/CMakeFiles/latgossip_analysis.dir/spectral.cpp.o" "gcc" "src/analysis/CMakeFiles/latgossip_analysis.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/latgossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latgossip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip_analysis.dir/conductance.cpp.o"
+  "CMakeFiles/latgossip_analysis.dir/conductance.cpp.o.d"
+  "CMakeFiles/latgossip_analysis.dir/distance.cpp.o"
+  "CMakeFiles/latgossip_analysis.dir/distance.cpp.o.d"
+  "CMakeFiles/latgossip_analysis.dir/spanner_check.cpp.o"
+  "CMakeFiles/latgossip_analysis.dir/spanner_check.cpp.o.d"
+  "CMakeFiles/latgossip_analysis.dir/spectral.cpp.o"
+  "CMakeFiles/latgossip_analysis.dir/spectral.cpp.o.d"
+  "liblatgossip_analysis.a"
+  "liblatgossip_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

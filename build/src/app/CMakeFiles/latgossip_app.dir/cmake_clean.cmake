@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip_app.dir/aggregate.cpp.o"
+  "CMakeFiles/latgossip_app.dir/aggregate.cpp.o.d"
+  "CMakeFiles/latgossip_app.dir/anti_entropy.cpp.o"
+  "CMakeFiles/latgossip_app.dir/anti_entropy.cpp.o.d"
+  "liblatgossip_app.a"
+  "liblatgossip_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

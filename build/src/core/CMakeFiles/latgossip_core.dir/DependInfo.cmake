@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dtg.cpp" "src/core/CMakeFiles/latgossip_core.dir/dtg.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/dtg.cpp.o.d"
+  "/root/repo/src/core/eid.cpp" "src/core/CMakeFiles/latgossip_core.dir/eid.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/eid.cpp.o.d"
+  "/root/repo/src/core/flooding.cpp" "src/core/CMakeFiles/latgossip_core.dir/flooding.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/flooding.cpp.o.d"
+  "/root/repo/src/core/latency_discovery.cpp" "src/core/CMakeFiles/latgossip_core.dir/latency_discovery.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/latency_discovery.cpp.o.d"
+  "/root/repo/src/core/push_only.cpp" "src/core/CMakeFiles/latgossip_core.dir/push_only.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/push_only.cpp.o.d"
+  "/root/repo/src/core/push_pull.cpp" "src/core/CMakeFiles/latgossip_core.dir/push_pull.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/push_pull.cpp.o.d"
+  "/root/repo/src/core/random_local_broadcast.cpp" "src/core/CMakeFiles/latgossip_core.dir/random_local_broadcast.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/random_local_broadcast.cpp.o.d"
+  "/root/repo/src/core/rr_broadcast.cpp" "src/core/CMakeFiles/latgossip_core.dir/rr_broadcast.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/rr_broadcast.cpp.o.d"
+  "/root/repo/src/core/spanner.cpp" "src/core/CMakeFiles/latgossip_core.dir/spanner.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/spanner.cpp.o.d"
+  "/root/repo/src/core/termination.cpp" "src/core/CMakeFiles/latgossip_core.dir/termination.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/termination.cpp.o.d"
+  "/root/repo/src/core/tk_schedule.cpp" "src/core/CMakeFiles/latgossip_core.dir/tk_schedule.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/tk_schedule.cpp.o.d"
+  "/root/repo/src/core/unified.cpp" "src/core/CMakeFiles/latgossip_core.dir/unified.cpp.o" "gcc" "src/core/CMakeFiles/latgossip_core.dir/unified.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/latgossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latgossip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

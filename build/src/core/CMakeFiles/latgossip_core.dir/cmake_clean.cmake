@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip_core.dir/dtg.cpp.o"
+  "CMakeFiles/latgossip_core.dir/dtg.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/eid.cpp.o"
+  "CMakeFiles/latgossip_core.dir/eid.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/flooding.cpp.o"
+  "CMakeFiles/latgossip_core.dir/flooding.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/latency_discovery.cpp.o"
+  "CMakeFiles/latgossip_core.dir/latency_discovery.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/push_only.cpp.o"
+  "CMakeFiles/latgossip_core.dir/push_only.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/push_pull.cpp.o"
+  "CMakeFiles/latgossip_core.dir/push_pull.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/random_local_broadcast.cpp.o"
+  "CMakeFiles/latgossip_core.dir/random_local_broadcast.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/rr_broadcast.cpp.o"
+  "CMakeFiles/latgossip_core.dir/rr_broadcast.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/spanner.cpp.o"
+  "CMakeFiles/latgossip_core.dir/spanner.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/termination.cpp.o"
+  "CMakeFiles/latgossip_core.dir/termination.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/tk_schedule.cpp.o"
+  "CMakeFiles/latgossip_core.dir/tk_schedule.cpp.o.d"
+  "CMakeFiles/latgossip_core.dir/unified.cpp.o"
+  "CMakeFiles/latgossip_core.dir/unified.cpp.o.d"
+  "liblatgossip_core.a"
+  "liblatgossip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

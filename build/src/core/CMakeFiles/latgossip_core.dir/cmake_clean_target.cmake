@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblatgossip_core.a"
+)

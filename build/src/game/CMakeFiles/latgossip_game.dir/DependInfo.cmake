@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/game.cpp" "src/game/CMakeFiles/latgossip_game.dir/game.cpp.o" "gcc" "src/game/CMakeFiles/latgossip_game.dir/game.cpp.o.d"
+  "/root/repo/src/game/reduction.cpp" "src/game/CMakeFiles/latgossip_game.dir/reduction.cpp.o" "gcc" "src/game/CMakeFiles/latgossip_game.dir/reduction.cpp.o.d"
+  "/root/repo/src/game/strategies.cpp" "src/game/CMakeFiles/latgossip_game.dir/strategies.cpp.o" "gcc" "src/game/CMakeFiles/latgossip_game.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latgossip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/latgossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latgossip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip_game.dir/game.cpp.o"
+  "CMakeFiles/latgossip_game.dir/game.cpp.o.d"
+  "CMakeFiles/latgossip_game.dir/reduction.cpp.o"
+  "CMakeFiles/latgossip_game.dir/reduction.cpp.o.d"
+  "CMakeFiles/latgossip_game.dir/strategies.cpp.o"
+  "CMakeFiles/latgossip_game.dir/strategies.cpp.o.d"
+  "liblatgossip_game.a"
+  "liblatgossip_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

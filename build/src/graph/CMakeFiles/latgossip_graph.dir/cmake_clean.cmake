@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip_graph.dir/digraph.cpp.o"
+  "CMakeFiles/latgossip_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/latgossip_graph.dir/gadgets.cpp.o"
+  "CMakeFiles/latgossip_graph.dir/gadgets.cpp.o.d"
+  "CMakeFiles/latgossip_graph.dir/generators.cpp.o"
+  "CMakeFiles/latgossip_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/latgossip_graph.dir/graph.cpp.o"
+  "CMakeFiles/latgossip_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/latgossip_graph.dir/io.cpp.o"
+  "CMakeFiles/latgossip_graph.dir/io.cpp.o.d"
+  "CMakeFiles/latgossip_graph.dir/latency_models.cpp.o"
+  "CMakeFiles/latgossip_graph.dir/latency_models.cpp.o.d"
+  "liblatgossip_graph.a"
+  "liblatgossip_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

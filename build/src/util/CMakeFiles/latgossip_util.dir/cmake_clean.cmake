@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip_util.dir/args.cpp.o"
+  "CMakeFiles/latgossip_util.dir/args.cpp.o.d"
+  "CMakeFiles/latgossip_util.dir/fit.cpp.o"
+  "CMakeFiles/latgossip_util.dir/fit.cpp.o.d"
+  "CMakeFiles/latgossip_util.dir/rng.cpp.o"
+  "CMakeFiles/latgossip_util.dir/rng.cpp.o.d"
+  "CMakeFiles/latgossip_util.dir/stats.cpp.o"
+  "CMakeFiles/latgossip_util.dir/stats.cpp.o.d"
+  "CMakeFiles/latgossip_util.dir/table.cpp.o"
+  "CMakeFiles/latgossip_util.dir/table.cpp.o.d"
+  "liblatgossip_util.a"
+  "liblatgossip_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

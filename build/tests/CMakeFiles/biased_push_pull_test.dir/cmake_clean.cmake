@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_push_pull_test.dir/biased_push_pull_test.cpp.o"
+  "CMakeFiles/biased_push_pull_test.dir/biased_push_pull_test.cpp.o.d"
+  "biased_push_pull_test"
+  "biased_push_pull_test.pdb"
+  "biased_push_pull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_push_pull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

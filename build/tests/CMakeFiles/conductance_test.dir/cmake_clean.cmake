@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conductance_test.dir/conductance_test.cpp.o"
+  "CMakeFiles/conductance_test.dir/conductance_test.cpp.o.d"
+  "conductance_test"
+  "conductance_test.pdb"
+  "conductance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conductance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtg_test.dir/dtg_test.cpp.o"
+  "CMakeFiles/dtg_test.dir/dtg_test.cpp.o.d"
+  "dtg_test"
+  "dtg_test.pdb"
+  "dtg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_test.dir/eid_test.cpp.o"
+  "CMakeFiles/eid_test.dir/eid_test.cpp.o.d"
+  "eid_test"
+  "eid_test.pdb"
+  "eid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

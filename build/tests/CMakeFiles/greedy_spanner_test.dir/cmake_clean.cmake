@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_spanner_test.dir/greedy_spanner_test.cpp.o"
+  "CMakeFiles/greedy_spanner_test.dir/greedy_spanner_test.cpp.o.d"
+  "greedy_spanner_test"
+  "greedy_spanner_test.pdb"
+  "greedy_spanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_spanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_discovery_test.dir/latency_discovery_test.cpp.o"
+  "CMakeFiles/latency_discovery_test.dir/latency_discovery_test.cpp.o.d"
+  "latency_discovery_test"
+  "latency_discovery_test.pdb"
+  "latency_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

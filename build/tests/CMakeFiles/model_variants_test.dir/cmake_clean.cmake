@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_variants_test.dir/model_variants_test.cpp.o"
+  "CMakeFiles/model_variants_test.dir/model_variants_test.cpp.o.d"
+  "model_variants_test"
+  "model_variants_test.pdb"
+  "model_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_only_test.dir/push_only_test.cpp.o"
+  "CMakeFiles/push_only_test.dir/push_only_test.cpp.o.d"
+  "push_only_test"
+  "push_only_test.pdb"
+  "push_only_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_only_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_pull_test.dir/push_pull_test.cpp.o"
+  "CMakeFiles/push_pull_test.dir/push_pull_test.cpp.o.d"
+  "push_pull_test"
+  "push_pull_test.pdb"
+  "push_pull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_pull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_broadcast_test.dir/rr_broadcast_test.cpp.o"
+  "CMakeFiles/rr_broadcast_test.dir/rr_broadcast_test.cpp.o.d"
+  "rr_broadcast_test"
+  "rr_broadcast_test.pdb"
+  "rr_broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

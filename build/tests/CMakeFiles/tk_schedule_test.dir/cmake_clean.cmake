@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_schedule_test.dir/tk_schedule_test.cpp.o"
+  "CMakeFiles/tk_schedule_test.dir/tk_schedule_test.cpp.o.d"
+  "tk_schedule_test"
+  "tk_schedule_test.pdb"
+  "tk_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

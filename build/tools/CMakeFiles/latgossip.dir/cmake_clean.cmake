@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latgossip.dir/latgossip_cli.cpp.o"
+  "CMakeFiles/latgossip.dir/latgossip_cli.cpp.o.d"
+  "latgossip"
+  "latgossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latgossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen "/root/repo/build/tools/latgossip" "gen" "--family=ring_cliques" "--cliques=4" "--size=4" "--bridge=8" "--out=/root/repo/build/tools/cli_test.graph")
+set_tests_properties(cli_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/latgossip" "analyze" "--in=/root/repo/build/tools/cli_test.graph")
+set_tests_properties(cli_analyze PROPERTIES  DEPENDS "cli_gen" PASS_REGULAR_EXPRESSION "connected      yes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_pushpull "/root/repo/build/tools/latgossip" "run" "--in=/root/repo/build/tools/cli_test.graph" "--proto=pushpull" "--seed=3")
+set_tests_properties(cli_run_pushpull PROPERTIES  DEPENDS "cli_gen" PASS_REGULAR_EXPRESSION "complete       yes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_eid "/root/repo/build/tools/latgossip" "run" "--in=/root/repo/build/tools/cli_test.graph" "--proto=eid")
+set_tests_properties(cli_run_eid PROPERTIES  DEPENDS "cli_gen" PASS_REGULAR_EXPRESSION "complete       yes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_tk "/root/repo/build/tools/latgossip" "run" "--in=/root/repo/build/tools/cli_test.graph" "--proto=tk")
+set_tests_properties(cli_run_tk PROPERTIES  DEPENDS "cli_gen" PASS_REGULAR_EXPRESSION "complete       yes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_unified "/root/repo/build/tools/latgossip" "run" "--in=/root/repo/build/tools/cli_test.graph" "--proto=unified" "--known-latencies")
+set_tests_properties(cli_run_unified PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_game "/root/repo/build/tools/latgossip" "game" "--m=32" "--p=0.1" "--strategy=adaptive")
+set_tests_properties(cli_game PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_family "/root/repo/build/tools/latgossip" "gen" "--family=nonsense")
+set_tests_properties(cli_rejects_bad_family PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_input "/root/repo/build/tools/latgossip" "analyze")
+set_tests_properties(cli_rejects_missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
