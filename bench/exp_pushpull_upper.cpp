@@ -20,6 +20,7 @@
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
+#include "sim/parallel.h"
 #include "util/args.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -28,29 +29,33 @@ using namespace latgossip;
 
 namespace {
 
+std::size_t g_threads = 1;
+
 double measure_push_pull(const WeightedGraph& g, int trials,
                          std::uint64_t seed) {
-  Accumulator acc;
-  for (int t = 0; t < trials; ++t) {
-    NetworkView view(g, false);
-    PushPullBroadcast proto(view, 0,
-                            Rng(seed + static_cast<std::uint64_t>(t) * 37));
-    SimOptions opts;
-    opts.max_rounds = 20'000'000;
-    const SimResult r = run_gossip(g, proto, opts);
-    if (!r.completed) std::printf("  [warn] push-pull incomplete\n");
-    acc.add(static_cast<double>(r.rounds));
-  }
-  return acc.mean();
+  const TrialAggregate agg = run_trials(
+      static_cast<std::size_t>(trials), g_threads, seed,
+      [&g](std::size_t, Rng rng) {
+        NetworkView view(g, false);
+        PushPullBroadcast proto(view, 0, rng);
+        SimOptions opts;
+        opts.max_rounds = 20'000'000;
+        return run_gossip(g, proto, opts);
+      });
+  if (!agg.all_completed())
+    std::printf("  [warn] push-pull incomplete in %zu/%zu trials\n",
+                agg.trials.size() - agg.num_completed, agg.trials.size());
+  return agg.mean_rounds();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.allow_only({"trials", "seed"});
+  args.allow_only({"trials", "seed", "threads"});
   const int trials = static_cast<int>(args.get_int("trials", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 13));
+  g_threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::printf("E7  Theorem 12: push-pull broadcast in O((ell*/phi*) log n)\n");
   std::printf("    mean over %d trials per row\n\n", trials);

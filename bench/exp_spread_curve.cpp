@@ -3,15 +3,21 @@
 // S-curve on well-connected graphs; a latency-staircase on bottlenecked
 // weighted graphs (each step = one slow crossing). This is the
 // round-level picture behind Theorem 12's aggregate bound.
+//
+// Deciles are averaged over --trials independent runs dispatched
+// through the deterministic parallel trial runner (--threads, 0 = all
+// cores); results are identical for any thread count.
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/push_pull.h"
 #include "graph/gadgets.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
+#include "sim/parallel.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -43,11 +49,14 @@ std::vector<Round> decile_rounds(const PushPullBroadcast& proto,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.allow_only({"seed"});
+  args.allow_only({"seed", "trials", "threads"});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 61));
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 5));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::printf("A5  Spread curves: round at which each decile of nodes is "
-              "informed (push-pull broadcast)\n\n");
+              "informed (push-pull broadcast, mean of %zu trials)\n\n",
+              trials);
 
   struct Cfg { const char* name; WeightedGraph g; };
   Rng gen(seed);
@@ -72,16 +81,31 @@ int main(int argc, char** argv) {
            "90%", "100%"});
   for (Cfg& c : cfgs) {
     const std::size_t n = c.g.num_nodes();
-    NetworkView view(c.g, false);
-    PushPullBroadcast proto(view, 0, Rng(seed * 3 + 1));
-    SimOptions opts;
-    opts.max_rounds = 5'000'000;
-    const SimResult r = run_gossip(c.g, proto, opts);
-    if (!r.completed) std::printf("  [warn] incomplete on %s\n", c.name);
-    const auto deciles = decile_rounds(proto, n);
-    t.add(c.name, deciles[0], deciles[1], deciles[2], deciles[3],
-          deciles[4], deciles[5], deciles[6], deciles[7], deciles[8],
-          deciles[9]);
+    // Each trial writes its decile vector into its own slot; averaging
+    // afterwards in trial order keeps the output thread-count invariant.
+    std::vector<std::vector<Round>> per_trial(trials);
+    const TrialAggregate agg = run_trials(
+        trials, threads, seed * 3 + 1,
+        [&](std::size_t trial, Rng rng) {
+          NetworkView view(c.g, false);
+          PushPullBroadcast proto(view, 0, rng);
+          SimOptions opts;
+          opts.max_rounds = 5'000'000;
+          const SimResult r = run_gossip(c.g, proto, opts);
+          per_trial[trial] = decile_rounds(proto, n);
+          return r;
+        });
+    if (!agg.all_completed())
+      std::printf("  [warn] incomplete on %s (%zu/%zu trials)\n", c.name,
+                  agg.trials.size() - agg.num_completed, agg.trials.size());
+    std::vector<double> mean_decile(10, 0.0);
+    for (const auto& deciles : per_trial)
+      for (int d = 0; d < 10; ++d)
+        mean_decile[d] +=
+            static_cast<double>(deciles[d]) / static_cast<double>(trials);
+    t.add(c.name, mean_decile[0], mean_decile[1], mean_decile[2],
+          mean_decile[3], mean_decile[4], mean_decile[5], mean_decile[6],
+          mean_decile[7], mean_decile[8], mean_decile[9]);
   }
   t.print("rounds to reach each informed-fraction decile");
   std::printf(

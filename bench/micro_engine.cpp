@@ -1,5 +1,7 @@
 // M3 — engineering micro-benchmarks: simulator throughput under the
-// main protocols.
+// main protocols, the hook-policy fast path vs the dynamic path, and
+// the parallel trial runner. bench/run_bench emits the same workloads
+// as JSON for cross-PR tracking (BENCH_engine.json).
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +11,7 @@
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
+#include "sim/parallel.h"
 
 using namespace latgossip;
 
@@ -27,6 +30,52 @@ static void BM_PushPullBroadcast(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PushPullBroadcast)->Range(64, 4096);
+
+// Same workload with a no-op observer installed: forces the dynamic
+// hook path, so the gap to BM_PushPullBroadcast is the cost the NoHooks
+// compile-time policy removes from hook-free runs.
+static void BM_PushPullBroadcastHooked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng grng(1);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+  assign_random_uniform_latency(g, 1, 8, grng);
+  std::uint64_t seed = 0;
+  std::size_t activations = 0;
+  for (auto _ : state) {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, Rng(++seed));
+    SimOptions opts;
+    opts.max_rounds = 1'000'000;
+    opts.on_activation = [&](NodeId, NodeId, EdgeId, Round) {
+      ++activations;
+    };
+    benchmark::DoNotOptimize(run_gossip(g, proto, opts).rounds);
+  }
+  benchmark::DoNotOptimize(activations);
+}
+BENCHMARK(BM_PushPullBroadcastHooked)->Range(64, 4096);
+
+// Trial-runner overhead and scaling: a fixed batch of broadcasts
+// dispatched through run_trials at various thread counts.
+static void BM_RunTrialsPushPull(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  Rng grng(1);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+  assign_random_uniform_latency(g, 1, 8, grng);
+  for (auto _ : state) {
+    const TrialAggregate agg = run_trials(
+        16, threads, 99, [&g](std::size_t, Rng rng) {
+          NetworkView view(g, false);
+          PushPullBroadcast proto(view, 0, rng);
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          return run_gossip(g, proto, opts);
+        });
+    benchmark::DoNotOptimize(agg.rounds.mean());
+  }
+}
+BENCHMARK(BM_RunTrialsPushPull)->Arg(1)->Arg(2)->Arg(4);
 
 static void BM_PushPullAllToAll(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

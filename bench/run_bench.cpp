@@ -1,0 +1,201 @@
+// run_bench — JSON-emitting engine throughput snapshot.
+//
+// Measures the simulator hot path on the same workloads as
+// bench/micro_engine (google-benchmark) but with a tiny self-contained
+// harness, and writes the numbers as JSON (default BENCH_engine.json)
+// so successive PRs can track the engine's throughput trajectory:
+//
+//   ./run_bench [--out=BENCH_engine.json] [--repeats=5]
+//
+// The emitted file also carries the pre-overhaul baseline recorded
+// before the calendar-queue / hook-policy / contact-API rewrite
+// (micro_engine on the seed binary, same machine class), so every
+// regeneration shows before/after side by side.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/push_pull.h"
+#include "graph/generators.h"
+#include "graph/latency_models.h"
+#include "sim/engine.h"
+#include "sim/parallel.h"
+#include "util/args.h"
+
+using namespace latgossip;
+
+namespace {
+
+/// Pre-overhaul numbers: the seed engine (vector-of-vectors schedule
+/// with per-round shrink_to_fit, per-event std::function checks,
+/// find_edge hash lookup per activation) compiled -O3 and run on these
+/// exact workloads on the same machine. The hooked variant did not
+/// exist pre-PR — the old engine always paid the dynamic hook checks,
+/// so its plain number doubles as its hooked one.
+struct Baseline {
+  const char* name;
+  double ns;
+};
+constexpr Baseline kPrePrBaseline[] = {
+    {"pushpull_broadcast_64", 112631.0},
+    {"pushpull_broadcast_512", 1248112.0},
+    {"pushpull_broadcast_4096", 22624514.0},
+    {"pushpull_alltoall_512", 4673565.0},
+};
+
+double measure_ns(const std::function<void()>& body, int repeats) {
+  body();  // warm-up (also warms the calendar-queue buckets)
+  double best = 0.0;
+  double total = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                stop - start)
+                                .count());
+    total += ns;
+    if (best == 0.0 || ns < best) best = ns;
+  }
+  (void)best;
+  return total / repeats;
+}
+
+WeightedGraph bench_graph(std::size_t n) {
+  Rng grng(1);
+  auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+  assign_random_uniform_latency(g, 1, 8, grng);
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.allow_only({"out", "repeats"});
+  const std::string out = args.get("out", "BENCH_engine.json");
+  const int repeats = static_cast<int>(args.get_int("repeats", 5));
+
+  struct Case {
+    std::string name;
+    double ns;
+  };
+  std::vector<Case> cases;
+
+  for (std::size_t n : {64u, 512u, 4096u}) {
+    const WeightedGraph g = bench_graph(n);
+    std::uint64_t seed = 0;
+    cases.push_back({"pushpull_broadcast_" + std::to_string(n),
+                     measure_ns(
+                         [&] {
+                           NetworkView view(g, false);
+                           PushPullBroadcast proto(view, 0, Rng(++seed));
+                           SimOptions opts;
+                           opts.max_rounds = 1'000'000;
+                           (void)run_gossip(g, proto, opts);
+                         },
+                         repeats)});
+  }
+
+  {
+    const WeightedGraph g = bench_graph(4096);
+    std::uint64_t seed = 0;
+    std::size_t sink = 0;
+    cases.push_back({"pushpull_broadcast_4096_hooked",
+                     measure_ns(
+                         [&] {
+                           NetworkView view(g, false);
+                           PushPullBroadcast proto(view, 0, Rng(++seed));
+                           SimOptions opts;
+                           opts.max_rounds = 1'000'000;
+                           opts.on_activation =
+                               [&](NodeId, NodeId, EdgeId, Round) { ++sink; };
+                           (void)run_gossip(g, proto, opts);
+                         },
+                         repeats)});
+  }
+
+  {
+    const std::size_t n = 512;
+    const WeightedGraph g = bench_graph(n);
+    std::uint64_t seed = 0;
+    cases.push_back({"pushpull_alltoall_512",
+                     measure_ns(
+                         [&] {
+                           NetworkView view(g, false);
+                           PushPullGossip proto(view, GossipGoal::kAllToAll, 0,
+                                                PushPullGossip::own_id_rumors(n),
+                                                Rng(++seed));
+                           SimOptions opts;
+                           opts.max_rounds = 1'000'000;
+                           (void)run_gossip(g, proto, opts);
+                         },
+                         repeats)});
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      cases.push_back(
+          {"run_trials_16x512_t" + std::to_string(threads),
+           measure_ns(
+               [&] {
+                 (void)run_trials(16, threads, 99,
+                                  [&g](std::size_t, Rng rng) {
+                                    NetworkView view(g, false);
+                                    PushPullBroadcast proto(view, 0, rng);
+                                    SimOptions opts;
+                                    opts.max_rounds = 1'000'000;
+                                    return run_gossip(g, proto, opts);
+                                  });
+               },
+               repeats)});
+    }
+  }
+
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"engine\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"erdos_renyi avg-degree 8, latencies "
+               "uniform[1,8], push-pull from node 0\",\n");
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"baseline_pre_pr_ns\": {\n");
+  for (std::size_t i = 0; i < std::size(kPrePrBaseline); ++i)
+    std::fprintf(f, "    \"%s\": %.0f%s\n", kPrePrBaseline[i].name,
+                 kPrePrBaseline[i].ns,
+                 i + 1 < std::size(kPrePrBaseline) ? "," : "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"current_ns\": {\n");
+  for (std::size_t i = 0; i < cases.size(); ++i)
+    std::fprintf(f, "    \"%s\": %.0f%s\n", cases[i].name.c_str(),
+                 cases[i].ns, i + 1 < cases.size() ? "," : "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup_vs_pre_pr\": {\n");
+  bool first = true;
+  std::string speedups;
+  for (const Baseline& b : kPrePrBaseline) {
+    for (const Case& c : cases) {
+      if (c.name == b.name) {
+        if (!first) speedups += ",\n";
+        first = false;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", b.name,
+                      b.ns / c.ns);
+        speedups += buf;
+      }
+    }
+  }
+  std::fprintf(f, "%s\n  }\n}\n", speedups.c_str());
+  std::fclose(f);
+
+  std::printf("engine throughput snapshot (%d repeats each):\n", repeats);
+  for (const Case& c : cases)
+    std::printf("  %-32s %12.0f ns\n", c.name.c_str(), c.ns);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

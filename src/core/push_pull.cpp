@@ -10,37 +10,34 @@ PushPullBroadcast::PushPullBroadcast(const NetworkView& view, NodeId source,
                                      Rng rng)
     : view_(view),
       rng_(rng),
-      informed_(view.num_nodes(), false),
+      informed_(view.num_nodes()),
       inform_round_(view.num_nodes(), -1) {
   if (source >= view.num_nodes())
     throw std::invalid_argument("push-pull: bad source");
-  informed_[source] = true;
+  informed_.set(source);
   inform_round_[source] = 0;
-  informed_count_ = 1;
 }
 
-std::optional<NodeId> PushPullBroadcast::select_contact(NodeId u, Round) {
+std::optional<Contact> PushPullBroadcast::select_contact(NodeId u, Round) {
   const auto neigh = view_.neighbors(u);
   if (neigh.empty()) return std::nullopt;
-  return neigh[rng_.uniform(neigh.size())].to;
+  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
+  return Contact{h.to, h.edge};
 }
 
 bool PushPullBroadcast::capture_payload(NodeId u, Round) const {
-  return informed_[u];
+  return informed_.test(u);
 }
 
 void PushPullBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
                                 Round, Round now) {
-  if (payload && !informed_[u]) {
-    informed_[u] = true;
+  if (payload && !informed_.test(u)) {
+    informed_.set(u);
     inform_round_[u] = now;
-    ++informed_count_;
   }
 }
 
-bool PushPullBroadcast::done(Round) const {
-  return informed_count_ == informed_.size();
-}
+bool PushPullBroadcast::done(Round) const { return informed_.all_set(); }
 
 BiasedPushPullBroadcast::BiasedPushPullBroadcast(const NetworkView& view,
                                                  NodeId source, double rho,
@@ -68,14 +65,15 @@ BiasedPushPullBroadcast::BiasedPushPullBroadcast(const NetworkView& view,
   informed_count_ = 1;
 }
 
-std::optional<NodeId> BiasedPushPullBroadcast::select_contact(NodeId u,
-                                                              Round) {
+std::optional<Contact> BiasedPushPullBroadcast::select_contact(NodeId u,
+                                                               Round) {
   const auto& cum = cumulative_[u];
   if (cum.empty()) return std::nullopt;
   const double x = rng_.uniform_double() * cum.back();
   const auto it = std::lower_bound(cum.begin(), cum.end(), x);
   const auto index = static_cast<std::size_t>(it - cum.begin());
-  return view_.neighbors(u)[std::min(index, cum.size() - 1)].to;
+  const HalfEdge& h = view_.neighbors(u)[std::min(index, cum.size() - 1)];
+  return Contact{h.to, h.edge};
 }
 
 bool BiasedPushPullBroadcast::capture_payload(NodeId u, Round) const {
@@ -120,10 +118,11 @@ std::vector<Bitset> PushPullGossip::own_id_rumors(std::size_t n) {
   return r;
 }
 
-std::optional<NodeId> PushPullGossip::select_contact(NodeId u, Round) {
+std::optional<Contact> PushPullGossip::select_contact(NodeId u, Round) {
   const auto neigh = view_.neighbors(u);
   if (neigh.empty()) return std::nullopt;
-  return neigh[rng_.uniform(neigh.size())].to;
+  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
+  return Contact{h.to, h.edge};
 }
 
 Bitset PushPullGossip::capture_payload(NodeId u, Round) const {

@@ -38,22 +38,23 @@ class PushPullBroadcast {
   /// (Conclusion): one bit of payload per direction.
   static std::size_t payload_bits(const Payload&) { return 1; }
 
-  std::optional<NodeId> select_contact(NodeId u, Round r);
+  /// Uniform neighbor pick, returned as a Contact so the engine resolves
+  /// the edge straight from the adjacency slot (no hash lookup).
+  std::optional<Contact> select_contact(NodeId u, Round r);
   Payload capture_payload(NodeId u, Round r) const;
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
   bool done(Round r) const;
 
-  bool informed(NodeId u) const { return informed_[u]; }
+  bool informed(NodeId u) const { return informed_.test(u); }
   /// Round at which u became informed (-1 if never).
   Round inform_round(NodeId u) const { return inform_round_[u]; }
 
  private:
   NetworkView view_;
   Rng rng_;
-  std::vector<bool> informed_;
+  Bitset informed_;
   std::vector<Round> inform_round_;
-  std::size_t informed_count_ = 0;
 };
 
 /// Latency-biased push-pull: a known-latency variant in which a node
@@ -72,7 +73,7 @@ class BiasedPushPullBroadcast {
 
   static std::size_t payload_bits(const Payload&) { return 1; }
 
-  std::optional<NodeId> select_contact(NodeId u, Round r);
+  std::optional<Contact> select_contact(NodeId u, Round r);
   Payload capture_payload(NodeId u, Round r) const;
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
@@ -105,7 +106,7 @@ class PushPullGossip {
   /// Rumor sets cost ~32 bits per carried rumor id.
   static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
 
-  std::optional<NodeId> select_contact(NodeId u, Round r);
+  std::optional<Contact> select_contact(NodeId u, Round r);
   Payload capture_payload(NodeId u, Round r) const;
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);

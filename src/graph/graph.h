@@ -67,6 +67,18 @@ class WeightedGraph {
     return edges_[e];
   }
 
+  /// Half-edge at position `adj_index` of u's adjacency list — the
+  /// cheap edge-resolution path for protocols that pick contacts by
+  /// neighbor index (no edge_index_ hash lookup; find_edge() remains
+  /// the validating path).
+  const HalfEdge& edge_at(NodeId u, std::size_t adj_index) const {
+    check_node(u);
+    const auto& adj = adjacency_[u];
+    if (adj_index >= adj.size())
+      throw std::out_of_range("adjacency index out of range");
+    return adj[adj_index];
+  }
+
   Latency latency(EdgeId e) const { return edge(e).latency; }
 
   /// Other endpoint of edge `e` relative to `u`.

@@ -30,6 +30,7 @@
 #include "sim/engine.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
+#include "sim/parallel.h"
 #include "sim/trace.h"
 
 // Algorithms

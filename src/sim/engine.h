@@ -25,7 +25,21 @@
 // The engine is generic over a Protocol type (duck-typed, checked by the
 // GossipProtocol concept below) so payloads stay strongly typed and
 // allocation-free where possible.
+//
+// Hot-path design (see DESIGN.md "Engine internals & performance"):
+//  * deliveries live in a calendar queue — a power-of-two ring of
+//    buckets covering the latency horizon; buckets are cleared but
+//    never deallocated between rounds, so steady state allocates
+//    nothing;
+//  * the four std::function hooks are hoisted out of the per-event loop
+//    by a compile-time policy: run_gossip() dispatches to a NoHooks
+//    instantiation when no hook is installed and to the dynamic path
+//    otherwise, so hook-free runs pay zero test-and-branch per event;
+//  * protocols that already know which half-edge they picked can return
+//    a Contact{node, edge} and skip the per-activation find_edge() hash
+//    lookup; the plain NodeId return stays supported.
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <functional>
@@ -70,10 +84,35 @@ class NetworkView {
   bool latencies_known_;
 };
 
+/// A contact choice that names the connecting edge as well as the peer.
+/// Protocols that pick a neighbor straight out of neighbors(u) already
+/// hold the HalfEdge, so returning both lets the engine skip the
+/// find_edge() hash lookup on every activation.
+struct Contact {
+  NodeId node = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+namespace detail {
+
+template <typename P>
+concept SelectsByContact = requires(P p, NodeId u, Round r) {
+  { p.select_contact(u, r) } -> std::convertible_to<std::optional<Contact>>;
+};
+
+template <typename P>
+concept SelectsByNodeId = requires(P p, NodeId u, Round r) {
+  { p.select_contact(u, r) } -> std::convertible_to<std::optional<NodeId>>;
+};
+
+}  // namespace detail
+
 /// Requirements on a protocol driven by run_gossip():
 ///  - Payload: the information carried by one direction of an exchange.
-///  - select_contact(u, r): neighbor (by NodeId) u initiates with in
-///    round r, or nullopt to stay silent.
+///  - select_contact(u, r): the neighbor u initiates with in round r —
+///    either a NodeId (the engine resolves the edge via find_edge) or a
+///    Contact{node, edge} (no hash lookup; the engine validates that the
+///    edge really joins u and node) — or nullopt to stay silent.
 ///  - capture_payload(u, r): snapshot of u's transmitted state.
 ///  - deliver(u, peer, payload, edge, start, now): u receives peer's
 ///    snapshot from the exchange initiated at `start`, completing `now`.
@@ -85,14 +124,15 @@ class NetworkView {
 /// messages, the spanner algorithm does not); without it every payload
 /// counts as one bit.
 template <typename P>
-concept GossipProtocol = requires(P p, const P cp, NodeId u, Round r,
-                                  typename P::Payload pay, EdgeId e) {
-  typename P::Payload;
-  { p.select_contact(u, r) } -> std::convertible_to<std::optional<NodeId>>;
-  { p.capture_payload(u, r) } -> std::same_as<typename P::Payload>;
-  { p.deliver(u, u, std::move(pay), e, r, r) };
-  { cp.done(r) } -> std::convertible_to<bool>;
-};
+concept GossipProtocol =
+    requires(P p, const P cp, NodeId u, Round r, typename P::Payload pay,
+             EdgeId e) {
+      typename P::Payload;
+      { p.capture_payload(u, r) } -> std::same_as<typename P::Payload>;
+      { p.deliver(u, u, std::move(pay), e, r, r) };
+      { cp.done(r) } -> std::convertible_to<bool>;
+    } &&
+    (detail::SelectsByContact<P> || detail::SelectsByNodeId<P>);
 
 namespace detail {
 
@@ -134,17 +174,25 @@ struct SimOptions {
   /// Per-exchange latency override (jitter). Receives the edge and its
   /// nominal latency; the result is clamped to >= 1.
   std::function<Latency(EdgeId, Latency)> latency_jitter;
+
+  /// True iff any dynamic hook is installed; hook-free runs take the
+  /// compile-time NoHooks fast path through the event loop.
+  bool any_hooks() const {
+    return static_cast<bool>(on_activation) || static_cast<bool>(is_crashed) ||
+           static_cast<bool>(drop_delivery) ||
+           static_cast<bool>(latency_jitter);
+  }
 };
 
-/// Drive `proto` over `g` until done(), idle, or max_rounds.
-///
-/// Per-round order: (1) deliveries scheduled for this round (both
-/// endpoints of each completed exchange), (2) done() check, (3) contact
-/// selection in node-id order with payload snapshots taken immediately.
-template <typename P>
-  requires GossipProtocol<P>
-SimResult run_gossip(const WeightedGraph& g, P& proto,
-                     const SimOptions& opts = {}) {
+namespace detail {
+
+/// Engine core, instantiated twice per protocol: kHooked=false elides
+/// every std::function test from the loops; kHooked=true is the fully
+/// dynamic path. Both produce bit-identical results for the same seed
+/// when no hook alters behavior (covered by engine_test).
+template <bool kHooked, typename P>
+SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
+                          const SimOptions& opts) {
   struct Delivery {
     NodeId to;
     NodeId from;
@@ -161,14 +209,44 @@ SimResult run_gossip(const WeightedGraph& g, P& proto,
     return result;
   }
 
-  // Deliveries bucketed by round in a growable ring; slot r holds
-  // deliveries due at absolute round r.
-  std::vector<std::vector<Delivery>> buckets;
+  // Calendar queue: deliveries due at absolute round d live in slot
+  // d & mask. Capacity is a power of two covering the latency horizon,
+  // so within the pending window (now, now + capacity] every due round
+  // owns a distinct slot. Buckets are cleared after draining but keep
+  // their storage — steady state schedules without allocating. Jitter
+  // may stretch a latency past the nominal horizon; grow() re-buckets.
+  std::size_t capacity = 1;
+  const auto horizon =
+      static_cast<std::size_t>(std::max<Latency>(g.max_latency(), 1)) + 1;
+  while (capacity < horizon) capacity <<= 1;
+  std::vector<std::vector<Delivery>> slots(capacity);
+  std::vector<Round> slot_due(capacity, -1);
+  std::size_t mask = capacity - 1;
   std::size_t inflight = 0;
-  auto bucket_for = [&](Round r) -> std::vector<Delivery>& {
-    const auto idx = static_cast<std::size_t>(r);
-    if (idx >= buckets.size()) buckets.resize(idx + 1);
-    return buckets[idx];
+
+  auto grow = [&](std::size_t need) {
+    std::size_t new_capacity = capacity;
+    while (new_capacity < need) new_capacity <<= 1;
+    std::vector<std::vector<Delivery>> new_slots(new_capacity);
+    std::vector<Round> new_due(new_capacity, -1);
+    const std::size_t new_mask = new_capacity - 1;
+    for (std::size_t i = 0; i < capacity; ++i) {
+      if (slots[i].empty()) continue;
+      const auto j = static_cast<std::size_t>(slot_due[i]) & new_mask;
+      new_slots[j] = std::move(slots[i]);
+      new_due[j] = slot_due[i];
+    }
+    slots = std::move(new_slots);
+    slot_due = std::move(new_due);
+    capacity = new_capacity;
+    mask = new_mask;
+  };
+
+  auto schedule = [&](Round due, Delivery&& d) {
+    const auto idx = static_cast<std::size_t>(due) & mask;
+    slot_due[idx] = due;
+    slots[idx].push_back(std::move(d));
+    ++inflight;
   };
 
   // Blocking-model bookkeeping: outstanding self-initiated exchanges.
@@ -182,31 +260,34 @@ SimResult run_gossip(const WeightedGraph& g, P& proto,
   }
 
   for (Round r = 0; r <= opts.max_rounds; ++r) {
-    // 1. Deliveries due now.
-    if (static_cast<std::size_t>(r) < buckets.size()) {
-      auto& due = buckets[static_cast<std::size_t>(r)];
+    // 1. Deliveries due now. Within the pending window, any entry in
+    // this slot is due exactly at r (see the capacity invariant above).
+    auto& due = slots[static_cast<std::size_t>(r) & mask];
+    if (!due.empty()) {
       for (auto& d : due) {
         if (opts.blocking && d.to_initiator) {
           // The response leg completes the initiator's round trip even
           // if its content is lost.
           if (outstanding[d.to] > 0) --outstanding[d.to];
         }
-        const bool crashed =
-            (opts.is_crashed && opts.is_crashed(d.to, r)) ||
-            (opts.is_crashed && opts.is_crashed(d.from, r));
-        const bool dropped =
-            crashed || (opts.drop_delivery &&
-                        opts.drop_delivery(d.to, d.from, d.edge, d.start, r));
-        if (dropped) {
-          ++result.messages_dropped;
-          continue;
+        if constexpr (kHooked) {
+          const bool crashed =
+              (opts.is_crashed && opts.is_crashed(d.to, r)) ||
+              (opts.is_crashed && opts.is_crashed(d.from, r));
+          const bool dropped =
+              crashed ||
+              (opts.drop_delivery &&
+               opts.drop_delivery(d.to, d.from, d.edge, d.start, r));
+          if (dropped) {
+            ++result.messages_dropped;
+            continue;
+          }
         }
         proto.deliver(d.to, d.from, std::move(d.payload), d.edge, d.start, r);
         ++result.messages_delivered;
       }
       inflight -= due.size();
-      due.clear();
-      due.shrink_to_fit();
+      due.clear();  // storage retained for bucket reuse
     }
 
     // 2. Termination.
@@ -220,47 +301,71 @@ SimResult run_gossip(const WeightedGraph& g, P& proto,
     // 3. Contact selection.
     bool any_selected = false;
     for (NodeId u = 0; u < n; ++u) {
-      if (opts.is_crashed && opts.is_crashed(u, r)) continue;
+      if constexpr (kHooked) {
+        if (opts.is_crashed && opts.is_crashed(u, r)) continue;
+      }
       if (opts.blocking && outstanding[u] > 0) continue;
-      const std::optional<NodeId> target = proto.select_contact(u, r);
-      if (!target) continue;
-      const auto edge = g.find_edge(u, *target);
-      if (!edge)
-        throw std::logic_error("protocol selected a non-neighbor contact");
+
+      NodeId peer;
+      EdgeId edge;
+      Latency lat;
+      if constexpr (detail::SelectsByContact<P>) {
+        const std::optional<Contact> c = proto.select_contact(u, r);
+        if (!c) continue;
+        peer = c->node;
+        edge = c->edge;
+        const Edge& rec = g.edge(edge);  // bounds-checked
+        if (!((rec.u == u && rec.v == peer) ||
+              (rec.v == u && rec.u == peer)))
+          throw std::logic_error(
+              "protocol selected a contact over a mismatched edge");
+        lat = rec.latency;
+      } else {
+        const std::optional<NodeId> target = proto.select_contact(u, r);
+        if (!target) continue;
+        const auto e = g.find_edge(u, *target);
+        if (!e)
+          throw std::logic_error("protocol selected a non-neighbor contact");
+        peer = *target;
+        edge = *e;
+        lat = g.latency(*e);
+      }
       any_selected = true;
       ++result.activations;
-      if (opts.on_activation) opts.on_activation(u, *target, *edge, r);
+      if constexpr (kHooked) {
+        if (opts.on_activation) opts.on_activation(u, peer, edge, r);
+      }
 
       // Bounded in-degree: the responder may reject the initiation.
       if (opts.max_incoming_per_round > 0) {
-        if (incoming_stamp[*target] != r) {
-          incoming_stamp[*target] = r;
-          incoming_count[*target] = 0;
+        if (incoming_stamp[peer] != r) {
+          incoming_stamp[peer] = r;
+          incoming_count[peer] = 0;
         }
-        if (++incoming_count[*target] > opts.max_incoming_per_round) {
+        if (++incoming_count[peer] > opts.max_incoming_per_round) {
           ++result.exchanges_rejected;
           continue;
         }
       }
 
-      Latency lat = g.latency(*edge);
-      if (opts.latency_jitter) {
-        lat = opts.latency_jitter(*edge, lat);
-        if (lat < 1) lat = 1;
+      if constexpr (kHooked) {
+        if (opts.latency_jitter) {
+          lat = opts.latency_jitter(edge, lat);
+          if (lat < 1) lat = 1;
+          if (static_cast<std::size_t>(lat) > capacity)
+            grow(static_cast<std::size_t>(lat) + 1);
+        }
       }
-      auto& slot = bucket_for(r + lat);
       // Initiator's snapshot travels to the responder and vice versa.
       auto push = proto.capture_payload(u, r);
-      auto pull = proto.capture_payload(*target, r);
+      auto pull = proto.capture_payload(peer, r);
       result.payload_bits += detail::payload_bits_of<P>(push);
       result.payload_bits += detail::payload_bits_of<P>(pull);
-      slot.push_back(
-          Delivery{*target, u, *edge, r, /*to_initiator=*/false,
-                   std::move(push)});
-      slot.push_back(Delivery{u, *target, *edge, r, /*to_initiator=*/true,
-                              std::move(pull)});
+      schedule(r + lat, Delivery{peer, u, edge, r, /*to_initiator=*/false,
+                                 std::move(push)});
+      schedule(r + lat, Delivery{u, peer, edge, r, /*to_initiator=*/true,
+                                 std::move(pull)});
       if (opts.blocking) ++outstanding[u];
-      inflight += 2;
       result.max_inflight = std::max(result.max_inflight, inflight);
     }
 
@@ -274,6 +379,24 @@ SimResult run_gossip(const WeightedGraph& g, P& proto,
   result.rounds = opts.max_rounds;
   result.completed = false;
   return result;
+}
+
+}  // namespace detail
+
+/// Drive `proto` over `g` until done(), idle, or max_rounds.
+///
+/// Per-round order: (1) deliveries scheduled for this round (both
+/// endpoints of each completed exchange), (2) done() check, (3) contact
+/// selection in node-id order with payload snapshots taken immediately.
+///
+/// Dispatches to a hook-free fast instantiation when no SimOptions hook
+/// is installed; both paths are semantically identical.
+template <typename P>
+  requires GossipProtocol<P>
+SimResult run_gossip(const WeightedGraph& g, P& proto,
+                     const SimOptions& opts = {}) {
+  return opts.any_hooks() ? detail::run_gossip_impl<true>(g, proto, opts)
+                          : detail::run_gossip_impl<false>(g, proto, opts);
 }
 
 }  // namespace latgossip

@@ -17,6 +17,8 @@ struct SimResult {
   std::size_t payload_bits = 0;       ///< total bits sent (see engine.h)
   std::size_t max_inflight = 0;       ///< peak concurrent deliveries
 
+  bool operator==(const SimResult&) const = default;
+
   /// Merge a sequential phase into a running total.
   SimResult& accumulate(const SimResult& phase) {
     rounds += phase.rounds;

@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic multi-threaded trial runner.
+//
+// Every experiment in EXPERIMENTS.md is a Monte-Carlo sweep (dozens of
+// seeds per configuration) and trials are embarrassingly parallel, but
+// naive parallelism breaks reproducibility: thread scheduling would
+// change which trial consumes which random numbers and the order in
+// which results are aggregated. run_trials() fixes both:
+//
+//  * each trial's RNG is derived from (seed, trial index) alone by
+//    SplitMix64 seed-splitting — no shared random state, so trial t sees
+//    the same stream no matter which thread runs it;
+//  * results land in a pre-sized vector slot indexed by trial, and the
+//    util/stats accumulators are filled sequentially in trial order
+//    after the workers join — bit-identical aggregates for any thread
+//    count (covered by tests/parallel_test.cpp).
+//
+// The trial callback must be thread-safe: treat everything it captures
+// (typically the graph) as const and keep all mutable state local.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace latgossip {
+
+/// Aggregate over a batch of independent simulation trials. `trials` is
+/// indexed by trial number; the accumulators summarize it in that order.
+struct TrialAggregate {
+  std::vector<SimResult> trials;
+  Accumulator rounds;
+  Accumulator activations;
+  Accumulator messages_delivered;
+  Accumulator payload_bits;
+  std::size_t num_completed = 0;
+
+  double mean_rounds() const noexcept { return rounds.mean(); }
+  bool all_completed() const noexcept {
+    return num_completed == trials.size();
+  }
+};
+
+/// RNG seed for trial `trial` of a batch rooted at `seed` (SplitMix64
+/// seed-splitting; distinct for every (seed, trial) pair in practice).
+std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t trial) noexcept;
+
+/// 0 means "use hardware concurrency" (at least 1).
+std::size_t resolve_threads(std::size_t threads) noexcept;
+
+/// One trial: gets its index and a private RNG, returns the SimResult.
+using TrialFn = std::function<SimResult(std::size_t trial, Rng rng)>;
+
+/// Run `num_trials` independent trials across `threads` worker threads
+/// (0 = hardware concurrency; capped at num_trials) and aggregate.
+/// Results are bit-identical for any thread count. Exceptions thrown by
+/// a trial are rethrown on the calling thread after the pool drains.
+TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
+                          std::uint64_t seed, const TrialFn& make_trial);
+
+}  // namespace latgossip

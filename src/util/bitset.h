@@ -56,6 +56,21 @@ class Bitset {
   }
 
   bool all() const noexcept { return count() == size_; }
+
+  /// Word-level "every bit set" test: compares whole 64-bit words
+  /// against all-ones and exits at the first miss, so the common
+  /// not-yet-done case costs a single load + compare. This is the fast
+  /// path behind PushPullBroadcast::done().
+  bool all_set() const noexcept {
+    if (size_ == 0) return true;
+    const std::size_t full_words = size_ >> 6;
+    for (std::size_t i = 0; i < full_words; ++i)
+      if (words_[i] != ~std::uint64_t{0}) return false;
+    const std::size_t tail = size_ & 63;
+    if (tail != 0)
+      return words_.back() == (std::uint64_t{1} << tail) - 1;
+    return true;
+  }
   bool none() const noexcept {
     for (auto w : words_)
       if (w != 0) return false;

@@ -5,7 +5,10 @@
 
 #include <vector>
 
+#include "core/push_pull.h"
+#include "graph/generators.h"
 #include "graph/graph.h"
+#include "graph/latency_models.h"
 #include "sim/engine.h"
 
 namespace latgossip {
@@ -190,6 +193,127 @@ TEST(NetworkView, LatencyAccessGuarded) {
   EXPECT_EQ(known.latency(e), 6);
   EXPECT_EQ(known.num_nodes(), 2u);
   EXPECT_EQ(known.degree(0), 1u);
+}
+
+/// Scripted protocol using the Contact fast path: the engine must not
+/// need find_edge() to resolve the exchange.
+class ContactScriptedProtocol {
+ public:
+  using Payload = std::pair<NodeId, Round>;
+
+  explicit ContactScriptedProtocol(std::size_t n) : script_(n) {}
+
+  void schedule(NodeId u, Round r, Contact c) {
+    script_[u].emplace_back(r, c);
+  }
+
+  std::optional<Contact> select_contact(NodeId u, Round r) {
+    for (const auto& [round, contact] : script_[u])
+      if (round == r) return contact;
+    return std::nullopt;
+  }
+
+  Payload capture_payload(NodeId u, Round r) const { return {u, r}; }
+
+  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId, Round start,
+               Round now) {
+    EXPECT_EQ(payload.first, peer);
+    EXPECT_EQ(payload.second, start);
+    deliveries.push_back(
+        ScriptedProtocol::DeliveryRecord{u, peer, start, now});
+  }
+
+  bool done(Round) const { return false; }
+
+  std::vector<ScriptedProtocol::DeliveryRecord> deliveries;
+
+ private:
+  std::vector<std::vector<std::pair<Round, Contact>>> script_;
+};
+
+TEST(Engine, ContactApiResolvesEdgeWithoutLookup) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 2);
+  ContactScriptedProtocol proto(3);
+  const HalfEdge& h01 = g.edge_at(0, 0);
+  proto.schedule(0, 0, Contact{h01.to, h01.edge});
+  const SimResult result = run_gossip(g, proto, {});
+  ASSERT_EQ(proto.deliveries.size(), 2u);
+  for (const auto& d : proto.deliveries) {
+    EXPECT_EQ(d.start, 0);
+    EXPECT_EQ(d.now, 3);
+  }
+  EXPECT_EQ(result.activations, 1u);
+}
+
+TEST(Engine, MismatchedContactEdgeThrows) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1);
+  const EdgeId far = g.add_edge(1, 2, 1);
+  // Edge {1,2} does not join {0,1}: the engine's validation must catch
+  // a protocol lying about its contact edge.
+  ContactScriptedProtocol lying(3);
+  lying.schedule(0, 0, Contact{1, far});
+  EXPECT_THROW(run_gossip(g, lying, {}), std::logic_error);
+  // Out-of-range edge ids are caught by the bounds check.
+  ContactScriptedProtocol bogus(3);
+  bogus.schedule(0, 0, Contact{1, 99});
+  EXPECT_THROW(run_gossip(g, bogus, {}), std::logic_error);
+}
+
+TEST(Engine, HookedAndFastPathsProduceIdenticalResults) {
+  // A no-op observer forces the dynamic-hook instantiation; with the
+  // same protocol seed it must match the NoHooks fast path exactly.
+  Rng grng(11);
+  auto g = make_erdos_renyi(96, 0.1, grng);
+  assign_random_uniform_latency(g, 1, 7, grng);
+
+  NetworkView view(g, false);
+  PushPullBroadcast fast(view, 0, Rng(5));
+  SimOptions plain;
+  const SimResult fast_result = run_gossip(g, fast, plain);
+
+  PushPullBroadcast hooked(view, 0, Rng(5));
+  SimOptions with_hook;
+  std::size_t observed = 0;
+  with_hook.on_activation = [&](NodeId, NodeId, EdgeId, Round) {
+    ++observed;
+  };
+  const SimResult hooked_result = run_gossip(g, hooked, with_hook);
+
+  EXPECT_EQ(fast_result, hooked_result);
+  EXPECT_EQ(observed, hooked_result.activations);
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    EXPECT_EQ(fast.inform_round(u), hooked.inform_round(u));
+}
+
+TEST(Engine, JitterBeyondLatencyHorizonGrowsCalendarQueue) {
+  // Nominal max latency is 2, so the calendar ring starts tiny; a
+  // jitter hook stretching one exchange to 1000 rounds must trigger the
+  // re-bucketing growth path and still deliver at the right round.
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 2);
+  ScriptedProtocol proto(2);
+  proto.schedule(0, 0, 1);
+  proto.schedule(0, 1, 1);
+  SimOptions opts;
+  opts.max_rounds = 5000;
+  opts.latency_jitter = [first = true](EdgeId, Latency nominal) mutable
+      -> Latency {
+    if (first) {
+      first = false;
+      return 1000;
+    }
+    return nominal;
+  };
+  const SimResult result = run_gossip(g, proto, opts);
+  ASSERT_EQ(proto.deliveries.size(), 4u);
+  std::vector<Round> arrivals;
+  for (const auto& d : proto.deliveries) arrivals.push_back(d.now);
+  std::sort(arrivals.begin(), arrivals.end());
+  EXPECT_EQ(arrivals, (std::vector<Round>{3, 3, 1000, 1000}));
+  EXPECT_EQ(result.messages_delivered, 4u);
 }
 
 TEST(Engine, BothEndpointsSnapshotAtInitiationRound) {

@@ -170,6 +170,26 @@ TEST(Bitset, SetAllRespectsSize) {
   EXPECT_EQ(b.count(), 67u);
 }
 
+TEST(Bitset, AllSetWordLevelFastPath) {
+  // Sizes straddling word boundaries: empty, sub-word, exact word,
+  // word + tail.
+  EXPECT_TRUE(Bitset(0).all_set());
+  for (std::size_t n : {1u, 63u, 64u, 65u, 128u, 130u}) {
+    Bitset b(n);
+    EXPECT_FALSE(b.all_set());
+    b.set_all();
+    EXPECT_TRUE(b.all_set());
+    EXPECT_EQ(b.all_set(), b.all());
+    b.reset(n - 1);  // missing bit in the tail word
+    EXPECT_FALSE(b.all_set());
+    b.set(n - 1);
+    if (n > 64) {
+      b.reset(0);  // missing bit in a full word
+      EXPECT_FALSE(b.all_set());
+    }
+  }
+}
+
 TEST(Bitset, UnionIntersectionDifference) {
   Bitset a(130), b(130);
   a.set(1);

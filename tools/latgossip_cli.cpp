@@ -142,47 +142,77 @@ int cmd_run(const Args& args) {
   const std::size_t n = g.num_nodes();
   const std::string proto_name = args.get("proto", "pushpull");
   const auto source = static_cast<NodeId>(args.get_int("source", 0));
-  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 1));
+  // 0 = hardware concurrency; only consulted when trials > 1.
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  Rng rng(seed);
 
   SimTrace trace;
   SimOptions opts;
   opts.max_rounds = args.get_int("max-rounds", 5'000'000);
   const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty() && trials > 1)
+    throw std::invalid_argument("--trace requires --trials=1");
   if (!trace_path.empty()) trace.attach(opts);
 
-  SimResult result;
-  bool complete = false;
-  if (proto_name == "pushpull") {
-    NetworkView view(g, false);
-    PushPullBroadcast proto(view, source, rng);
-    result = run_gossip(g, proto, opts);
-    complete = result.completed;
-  } else if (proto_name == "flooding") {
-    NetworkView view(g, false);
-    RoundRobinFlooding proto(view, GossipGoal::kAllToAll, source,
-                             own_id_rumors(n));
-    result = run_gossip(g, proto, opts);
-    complete = result.completed;
-  } else if (proto_name == "eid") {
-    const GeneralEidOutcome out = run_general_eid(g, 0, rng);
-    result = out.sim;
-    complete = out.success;
-  } else if (proto_name == "tk") {
-    const PathDiscoveryOutcome out = run_path_discovery(g);
-    result = out.sim;
-    complete = out.success;
-  } else if (proto_name == "unified") {
-    UnifiedOptions uopts;
-    uopts.latencies_known = args.get_bool("known-latencies");
-    const UnifiedOutcome out = run_unified(g, uopts, rng);
-    result.rounds = out.unified_rounds;
-    complete = out.completed;
-    std::printf("winner         %s\n",
-                out.winner == UnifiedWinner::kPushPull ? "push-pull"
-                                                        : "spanner");
-  } else {
-    return usage();
+  // One trial with a private RNG; .completed carries protocol-level
+  // success so the multi-trial aggregate can count completions.
+  const bool known_latencies = args.get_bool("known-latencies");
+  auto run_single = [&](Rng trial_rng) -> SimResult {
+    SimResult result;
+    if (proto_name == "pushpull") {
+      NetworkView view(g, false);
+      PushPullBroadcast proto(view, source, trial_rng);
+      result = run_gossip(g, proto, opts);
+    } else if (proto_name == "flooding") {
+      NetworkView view(g, false);
+      RoundRobinFlooding proto(view, GossipGoal::kAllToAll, source,
+                               own_id_rumors(n));
+      result = run_gossip(g, proto, opts);
+    } else if (proto_name == "eid") {
+      const GeneralEidOutcome out = run_general_eid(g, 0, trial_rng);
+      result = out.sim;
+      result.completed = out.success;
+    } else if (proto_name == "tk") {
+      const PathDiscoveryOutcome out = run_path_discovery(g);
+      result = out.sim;
+      result.completed = out.success;
+    } else if (proto_name == "unified") {
+      UnifiedOptions uopts;
+      uopts.latencies_known = known_latencies;
+      const UnifiedOutcome out = run_unified(g, uopts, trial_rng);
+      result.rounds = out.unified_rounds;
+      result.completed = out.completed;
+      if (trials == 1)
+        std::printf("winner         %s\n",
+                    out.winner == UnifiedWinner::kPushPull ? "push-pull"
+                                                           : "spanner");
+    } else {
+      throw std::invalid_argument("unknown protocol '" + proto_name + "'");
+    }
+    return result;
+  };
+
+  if (trials > 1) {
+    const TrialAggregate agg = run_trials(
+        trials, threads, seed,
+        [&](std::size_t, Rng trial_rng) { return run_single(trial_rng); });
+    std::printf("protocol       %s\n", proto_name.c_str());
+    std::printf("trials         %zu (threads %zu%s)\n", trials, threads,
+                threads == 0 ? " = hardware" : "");
+    std::printf("rounds mean    %.2f\n", agg.rounds.mean());
+    std::printf("rounds stddev  %.2f\n", agg.rounds.stddev());
+    std::printf("rounds range   [%.0f, %.0f]\n", agg.rounds.min(),
+                agg.rounds.max());
+    std::printf("complete       %zu/%zu\n", agg.num_completed, trials);
+    std::printf("exchanges mean %.1f\n", agg.activations.mean());
+    std::printf("payload bits   %.1f (mean)\n", agg.payload_bits.mean());
+    return 0;
   }
+
+  const SimResult result = run_single(rng);
+  const bool complete = result.completed;
 
   std::printf("protocol       %s\n", proto_name.c_str());
   std::printf("rounds         %lld\n", static_cast<long long>(result.rounds));
