@@ -40,6 +40,63 @@ static void BM_BuildLayeredRing(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildLayeredRing)->Range(4, 64);
 
+static void BM_BuildHypercube(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = make_hypercube(dim);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildHypercube)->DenseRange(8, 16, 4);
+
+static void BM_FindEdge(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto g = make_hypercube(dim);
+  const std::size_t n = g.num_nodes();
+  Rng rng(7);
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    // Alternate guaranteed hits (drawn from the edge list) with random
+    // pairs, which on a hypercube are almost always misses.
+    for (int i = 0; i < 1024; ++i) {
+      if (i & 1) {
+        const Edge& e = g.edges()[rng.uniform(g.num_edges())];
+        acc += g.find_edge(e.u, e.v).value();
+      } else {
+        acc += g.find_edge(static_cast<NodeId>(rng.uniform(n)),
+                           static_cast<NodeId>(rng.uniform(n)))
+                   .value_or(0);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FindEdge)->DenseRange(8, 16, 4);
+
+static void BM_NeighborScan(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto g = make_hypercube(dim);
+  assign_random_uniform_latency(g, 1, 8, rng);
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u)
+      for (const HalfEdge& h : g.neighbors(u))
+        acc += h.to + static_cast<std::size_t>(g.latency(h.edge));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_NeighborScan)->DenseRange(8, 16, 4);
+
+static void BM_Bfs(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto g = make_hypercube(dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_hops(g, 0));
+  }
+}
+BENCHMARK(BM_Bfs)->DenseRange(8, 16, 4);
+
 static void BM_Dijkstra(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(3);

@@ -1,23 +1,28 @@
-// run_bench — JSON-emitting engine throughput snapshot.
+// run_bench — JSON-emitting engine + graph throughput snapshot.
 //
 // Measures the simulator hot path on the same workloads as
 // bench/micro_engine (google-benchmark) but with a tiny self-contained
 // harness, and writes the numbers as JSON (default BENCH_engine.json)
 // so successive PRs can track the engine's throughput trajectory:
 //
-//   ./run_bench [--out=BENCH_engine.json] [--repeats=5]
+//   ./run_bench [--out=BENCH_engine.json] [--graph_out=BENCH_graph.json]
+//               [--repeats=5]
 //
-// The emitted file also carries the pre-overhaul baseline recorded
-// before the calendar-queue / hook-policy / contact-API rewrite
-// (micro_engine on the seed binary, same machine class), so every
-// regeneration shows before/after side by side.
+// The emitted files also carry pre-overhaul baselines recorded on the
+// seed binaries (same machine class), so every regeneration shows
+// before/after side by side: BENCH_engine.json against the
+// pre-calendar-queue engine, BENCH_graph.json against the pre-CSR
+// adjacency-list WeightedGraph with its unordered_map edge index.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "analysis/distance.h"
 #include "core/push_pull.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
@@ -46,6 +51,19 @@ constexpr Baseline kPrePrBaseline[] = {
     {"pushpull_alltoall_512", 4673565.0},
 };
 
+/// Pre-CSR graph numbers: the seed WeightedGraph (vector-of-vectors
+/// adjacency, unordered_map<packed pair, EdgeId> for find_edge) compiled
+/// -O2 -g -DNDEBUG (RelWithDebInfo parity) and run on these exact
+/// workloads on the same machine, just before the GraphBuilder/CSR
+/// refactor landed.
+constexpr Baseline kPreCsrBaseline[] = {
+    {"graph_build_hypercube16", 140696304.0},
+    {"find_edge_hypercube16", 78582545.0},
+    {"neighbor_scan_hypercube16", 2028447.0},
+    {"bfs_hypercube16", 3939332.0},
+    {"dijkstra_hypercube16", 32622486.0},
+};
+
 double measure_ns(const std::function<void()>& body, int repeats) {
   body();  // warm-up (also warms the calendar-queue buckets)
   double best = 0.0;
@@ -72,18 +90,135 @@ WeightedGraph bench_graph(std::size_t n) {
   return g;
 }
 
+struct Case {
+  std::string name;
+  double ns;
+};
+
+/// Emit one snapshot file: baseline block, current block, and the
+/// speedup ratios for every case that has a baseline counterpart.
+int write_json(const std::string& out, const char* bench,
+               const char* workload, int repeats, const Baseline* baseline,
+               std::size_t baseline_count, const std::vector<Case>& cases) {
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", bench);
+  std::fprintf(f, "  \"workload\": \"%s\",\n", workload);
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"baseline_pre_pr_ns\": {\n");
+  for (std::size_t i = 0; i < baseline_count; ++i)
+    std::fprintf(f, "    \"%s\": %.0f%s\n", baseline[i].name, baseline[i].ns,
+                 i + 1 < baseline_count ? "," : "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"current_ns\": {\n");
+  for (std::size_t i = 0; i < cases.size(); ++i)
+    std::fprintf(f, "    \"%s\": %.0f%s\n", cases[i].name.c_str(),
+                 cases[i].ns, i + 1 < cases.size() ? "," : "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup_vs_pre_pr\": {\n");
+  bool first = true;
+  std::string speedups;
+  for (std::size_t i = 0; i < baseline_count; ++i) {
+    for (const Case& c : cases) {
+      if (c.name == baseline[i].name) {
+        if (!first) speedups += ",\n";
+        first = false;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", baseline[i].name,
+                      baseline[i].ns / c.ns);
+        speedups += buf;
+      }
+    }
+  }
+  std::fprintf(f, "%s\n  }\n}\n", speedups.c_str());
+  std::fclose(f);
+
+  std::printf("%s throughput snapshot (%d repeats each):\n", bench, repeats);
+  for (const Case& c : cases)
+    std::printf("  %-32s %12.0f ns\n", c.name.c_str(), c.ns);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+/// Graph-substrate primitives on the 16-dimensional hypercube (65536
+/// nodes, 524288 edges): build, random find_edge probes, a full
+/// adjacency sweep, and the two traversals layered on neighbors().
+std::vector<Case> run_graph_cases(int repeats) {
+  std::vector<Case> cases;
+  Rng grng(1);
+  auto g = make_hypercube(16);
+  assign_random_uniform_latency(g, 1, 8, grng);
+  const std::size_t n = g.num_nodes();
+
+  cases.push_back({"graph_build_hypercube16", measure_ns(
+                                                  [&] {
+                                                    auto gg = make_hypercube(16);
+                                                    volatile auto m =
+                                                        gg.num_edges();
+                                                    (void)m;
+                                                  },
+                                                  std::max(repeats / 2, 2))});
+  cases.push_back({"find_edge_hypercube16",
+                   measure_ns(
+                       [&] {
+                         Rng r(7);
+                         std::size_t acc = 0;
+                         for (int i = 0; i < 1'000'000; ++i) {
+                           if (i & 1) {
+                             const Edge& e = g.edges()[r.uniform(g.num_edges())];
+                             acc += g.find_edge(e.u, e.v).value();
+                           } else {
+                             acc += g.find_edge(static_cast<NodeId>(r.uniform(n)),
+                                                static_cast<NodeId>(r.uniform(n)))
+                                        .value_or(0);
+                           }
+                         }
+                         volatile auto a = acc;
+                         (void)a;
+                       },
+                       repeats)});
+  cases.push_back({"neighbor_scan_hypercube16",
+                   measure_ns(
+                       [&] {
+                         std::size_t acc = 0;
+                         for (NodeId u = 0; u < n; ++u)
+                           for (const HalfEdge& h : g.neighbors(u))
+                             acc += h.to +
+                                    static_cast<std::size_t>(g.latency(h.edge));
+                         volatile auto a = acc;
+                         (void)a;
+                       },
+                       repeats)});
+  cases.push_back({"bfs_hypercube16", measure_ns(
+                                          [&] {
+                                            volatile auto h =
+                                                bfs_hops(g, 0).back();
+                                            (void)h;
+                                          },
+                                          repeats)});
+  cases.push_back({"dijkstra_hypercube16", measure_ns(
+                                               [&] {
+                                                 volatile auto d =
+                                                     dijkstra(g, 0).back();
+                                                 (void)d;
+                                               },
+                                               repeats)});
+  return cases;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.allow_only({"out", "repeats"});
+  args.allow_only({"out", "graph_out", "repeats"});
   const std::string out = args.get("out", "BENCH_engine.json");
+  const std::string graph_out = args.get("graph_out", "BENCH_graph.json");
   const int repeats = static_cast<int>(args.get_int("repeats", 5));
 
-  struct Case {
-    std::string name;
-    double ns;
-  };
   std::vector<Case> cases;
 
   for (std::size_t n : {64u, 512u, 4096u}) {
@@ -153,49 +288,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  FILE* f = std::fopen(out.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"engine\",\n");
-  std::fprintf(f,
-               "  \"workload\": \"erdos_renyi avg-degree 8, latencies "
-               "uniform[1,8], push-pull from node 0\",\n");
-  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
-  std::fprintf(f, "  \"baseline_pre_pr_ns\": {\n");
-  for (std::size_t i = 0; i < std::size(kPrePrBaseline); ++i)
-    std::fprintf(f, "    \"%s\": %.0f%s\n", kPrePrBaseline[i].name,
-                 kPrePrBaseline[i].ns,
-                 i + 1 < std::size(kPrePrBaseline) ? "," : "");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"current_ns\": {\n");
-  for (std::size_t i = 0; i < cases.size(); ++i)
-    std::fprintf(f, "    \"%s\": %.0f%s\n", cases[i].name.c_str(),
-                 cases[i].ns, i + 1 < cases.size() ? "," : "");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"speedup_vs_pre_pr\": {\n");
-  bool first = true;
-  std::string speedups;
-  for (const Baseline& b : kPrePrBaseline) {
-    for (const Case& c : cases) {
-      if (c.name == b.name) {
-        if (!first) speedups += ",\n";
-        first = false;
-        char buf[128];
-        std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", b.name,
-                      b.ns / c.ns);
-        speedups += buf;
-      }
-    }
-  }
-  std::fprintf(f, "%s\n  }\n}\n", speedups.c_str());
-  std::fclose(f);
+  const int engine_rc = write_json(
+      out, "engine",
+      "erdos_renyi avg-degree 8, latencies uniform[1,8], push-pull from "
+      "node 0",
+      repeats, kPrePrBaseline, std::size(kPrePrBaseline), cases);
+  if (engine_rc != 0) return engine_rc;
 
-  std::printf("engine throughput snapshot (%d repeats each):\n", repeats);
-  for (const Case& c : cases)
-    std::printf("  %-32s %12.0f ns\n", c.name.c_str(), c.ns);
-  std::printf("wrote %s\n", out.c_str());
-  return 0;
+  const std::vector<Case> graph_cases = run_graph_cases(repeats);
+  return write_json(
+      graph_out, "graph",
+      "hypercube dim 16 (65536 nodes, 524288 edges), latencies "
+      "uniform[1,8]; 1M mixed find_edge probes, full adjacency sweep",
+      repeats, kPreCsrBaseline, std::size(kPreCsrBaseline), graph_cases);
 }

@@ -26,6 +26,7 @@
 #include "core/latency_discovery.h"
 #include "core/push_pull.h"
 #include "core/rr_broadcast.h"
+#include "graph/builder.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
 #include "util/args.h"
@@ -39,14 +40,14 @@ namespace {
 /// Datacenter mesh: cliques of replicas, sparse heavy-tailed WAN links.
 WeightedGraph build_fleet(std::size_t dcs, std::size_t replicas,
                           std::size_t wan_links_per_pair, Rng& rng) {
-  WeightedGraph g(dcs * replicas);
+  GraphBuilder builder(dcs * replicas);
   auto node = [replicas](std::size_t dc, std::size_t r) {
     return static_cast<NodeId>(dc * replicas + r);
   };
   for (std::size_t dc = 0; dc < dcs; ++dc)
     for (std::size_t i = 0; i < replicas; ++i)
       for (std::size_t j = i + 1; j < replicas; ++j)
-        g.add_edge(node(dc, i), node(dc, j), 1);
+        builder.add_edge(node(dc, i), node(dc, j), 1);
   for (std::size_t a = 0; a < dcs; ++a)
     for (std::size_t b = a + 1; b < dcs; ++b)
       for (std::size_t l = 0; l < wan_links_per_pair; ++l) {
@@ -55,10 +56,10 @@ WeightedGraph build_fleet(std::size_t dcs, std::size_t replicas,
             20.0 * std::pow(1.0 - rng.uniform_double(), -0.7));
         const NodeId u = node(a, rng.uniform(replicas));
         const NodeId v = node(b, rng.uniform(replicas));
-        if (!g.has_edge(u, v))
-          g.add_edge(u, v, std::min<Latency>(rtt, 200));
+        if (!builder.has_edge(u, v))
+          builder.add_edge(u, v, std::min<Latency>(rtt, 200));
       }
-  return g;
+  return builder.build();
 }
 
 }  // namespace

@@ -21,17 +21,29 @@ void check_exact_feasible(const WeightedGraph& g, std::size_t max_nodes) {
 
 }  // namespace
 
-std::size_t cut_edges_leq(const WeightedGraph& g,
-                          const std::vector<bool>& in_set, Latency ell) {
+std::size_t cut_edges_leq(const WeightedGraph& g, const Bitset& in_set,
+                          Latency ell) {
   if (in_set.size() != g.num_nodes())
     throw std::invalid_argument("cut_edges_leq: membership size mismatch");
+  // Walk the set side word by word; each cut edge is seen exactly once,
+  // from its in-set endpoint (or twice if both endpoints are in-set, in
+  // which case it is not a cut edge and not counted).
   std::size_t count = 0;
-  for (const Edge& e : g.edges())
-    if (e.latency <= ell && in_set[e.u] != in_set[e.v]) ++count;
+  const auto words = in_set.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const auto u = static_cast<NodeId>(
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w)));
+      for (const HalfEdge& h : g.neighbors(u))
+        if (!in_set.test(h.to) && g.latency(h.edge) <= ell) ++count;
+      w &= w - 1;
+    }
+  }
   return count;
 }
 
-double phi_ell_of_cut(const WeightedGraph& g, const std::vector<bool>& in_set,
+double phi_ell_of_cut(const WeightedGraph& g, const Bitset& in_set,
                       Latency ell) {
   const std::size_t vol_u = g.volume(in_set);
   const std::size_t vol_total = 2 * g.num_edges();
@@ -58,7 +70,7 @@ void for_each_cut(const WeightedGraph& g, const std::vector<Latency>& levels,
     level_of_edge[e] = static_cast<std::size_t>(it - levels.begin());
   }
 
-  std::vector<bool> in_set(n, false);
+  Bitset in_set(n);
   std::vector<std::size_t> cut_counts(levels.size(), 0);
   std::size_t vol_s = 0;
 
@@ -68,15 +80,17 @@ void for_each_cut(const WeightedGraph& g, const std::vector<Latency>& levels,
   for (std::uint64_t s = 1; s < total; ++s) {
     const auto flip_node =
         static_cast<NodeId>(std::countr_zero(s) + 1);
-    const bool joining = !in_set[flip_node];
-    in_set[flip_node] = joining;
-    if (joining)
+    const bool joining = !in_set.test(flip_node);
+    if (joining) {
+      in_set.set(flip_node);
       vol_s += g.degree(flip_node);
-    else
+    } else {
+      in_set.reset(flip_node);
       vol_s -= g.degree(flip_node);
+    }
     for (const HalfEdge& h : g.neighbors(flip_node)) {
       // After the flip, the edge is a cut edge iff the endpoints differ.
-      if (in_set[h.to] != in_set[flip_node])
+      if (in_set.test(h.to) != in_set.test(flip_node))
         ++cut_counts[level_of_edge[h.edge]];
       else
         --cut_counts[level_of_edge[h.edge]];
@@ -109,7 +123,7 @@ CutResult weight_ell_conductance_exact(const WeightedGraph& g, Latency ell,
   std::vector<Latency> levels{ell, sentinel};
   for_each_cut(g, levels,
                [&](std::size_t vol_s, const std::vector<std::size_t>& counts,
-                   const std::vector<bool>& in_set) {
+                   const Bitset& in_set) {
                  const std::size_t vol_min =
                      std::min(vol_s, vol_total - vol_s);
                  if (vol_min == 0) return;
@@ -140,7 +154,7 @@ WeightedConductance weighted_conductance_exact(const WeightedGraph& g,
   for_each_cut(
       g, levels,
       [&](std::size_t vol_s, const std::vector<std::size_t>& counts,
-          const std::vector<bool>&) {
+          const Bitset&) {
         const std::size_t vol_min = std::min(vol_s, vol_total - vol_s);
         if (vol_min == 0) return;
         std::size_t prefix = 0;

@@ -8,6 +8,10 @@
 // φ_ℓ(G) = min_U φ_ℓ(U); the weighted conductance φ*(G) is the φ_ℓ(G)
 // maximizing φ_ℓ(G)/ℓ over ℓ, and ℓ* is the maximizing ℓ.
 //
+// Cuts are represented as util/bitset.h Bitsets (bit u = membership of
+// node u), so volume and cut counting iterate packed words instead of
+// vector<bool> bits.
+//
 // Exact computation enumerates all cuts via Gray code (feasible up to
 // ~24 nodes); larger graphs use the spectral sweep bound (spectral.h) or
 // the closed-form values of the constructed families.
@@ -15,21 +19,23 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/bitset.h"
 
 namespace latgossip {
 
 /// Number of cut edges with latency <= ell for the cut given by in_set.
-std::size_t cut_edges_leq(const WeightedGraph& g,
-                          const std::vector<bool>& in_set, Latency ell);
+/// Iterates the set side's adjacency (cost O(Vol(U)), not O(E)).
+std::size_t cut_edges_leq(const WeightedGraph& g, const Bitset& in_set,
+                          Latency ell);
 
 /// φ_ℓ(U) for one cut (Definition 1). Requires a nontrivial cut; throws
 /// otherwise (both sides must be nonempty and have positive volume).
-double phi_ell_of_cut(const WeightedGraph& g, const std::vector<bool>& in_set,
+double phi_ell_of_cut(const WeightedGraph& g, const Bitset& in_set,
                       Latency ell);
 
 struct CutResult {
   double phi = 0.0;
-  std::vector<bool> argmin_cut;  ///< a cut achieving the minimum
+  Bitset argmin_cut;  ///< a cut achieving the minimum
 };
 
 /// Exact φ_ℓ(G) by full cut enumeration. Throws if n > max_nodes (cost

@@ -88,17 +88,17 @@ CutResult weight_ell_conductance_sweep(const WeightedGraph& g, Latency ell,
   });
 
   const std::size_t vol_total = 2 * g.num_edges();
-  std::vector<bool> in_set(n, false);
+  Bitset in_set(n);
   std::size_t vol_s = 0, cut = 0;
   CutResult best;
   best.phi = std::numeric_limits<double>::infinity();
   for (std::size_t idx = 0; idx + 1 < n; ++idx) {
     const NodeId u = order[idx];
-    in_set[u] = true;
+    in_set.set(u);
     vol_s += g.degree(u);
     for (const HalfEdge& h : g.neighbors(u)) {
       if (g.latency(h.edge) > ell) continue;
-      if (in_set[h.to])
+      if (in_set.test(h.to))
         --cut;
       else
         ++cut;

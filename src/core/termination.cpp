@@ -26,20 +26,23 @@ CheckOutcome run_termination_check(const WeightedGraph& g,
   CheckOutcome out;
 
   // Pass 1: broadcast and gather; a node fails if any reachable node has
-  // a different rumor set or a raised flag (lines 4-6).
+  // a different rumor set or a raised flag (lines 4-6), or if the set of
+  // nodes the broadcast collected from differs from its own rumor set.
+  // The self-consistency comparison is what makes passing safe: a node v
+  // with bad[v] == false heard exactly the nodes in its rumor set R, all
+  // with fingerprint(R) and no flag, so N(u) is contained in R for every
+  // u in R. A nonempty neighbor-closed set in a connected graph is the
+  // whole vertex set, hence R = V and v's exchange really is complete.
   auto [heard1, sim1] = broadcast();
   out.sim.accumulate(sim1);
   std::vector<bool> bad(n, false);
   for (NodeId v = 0; v < n; ++v) {
     if (heard1[v].size() != n)
       throw std::invalid_argument("termination check: heard-set mismatch");
-    for (std::size_t u = heard1[v].find_first(); u < n;
-         u = heard1[v].find_next(u + 1)) {
-      if (fingerprint[u] != fingerprint[v] || flag[u]) {
-        bad[v] = true;
-        break;
-      }
-    }
+    if (!(heard1[v] == rumors[v])) bad[v] = true;
+    for (std::size_t u = heard1[v].find_first(); u < n && !bad[v];
+         u = heard1[v].find_next(u + 1))
+      if (fingerprint[u] != fingerprint[v] || flag[u]) bad[v] = true;
   }
 
   // Pass 2: propagate the "failed" verdict (lines 7-9).

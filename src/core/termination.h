@@ -5,10 +5,15 @@
 // raises a flag when some graph neighbor is missing from its rumor set.
 // A first broadcast-and-gather within k-distance neighborhoods lets each
 // node compare its (frozen) rumor-set fingerprint and flag against all
-// nodes it can reach; a second pass propagates the resulting "failed"
+// nodes it can reach — and check that the set of nodes it heard from is
+// exactly its rumor set; a second pass propagates the resulting "failed"
 // verdict so that all nodes agree (Lemma 18: no node terminates before
 // exchanging rumors with everyone, and all nodes decide in the same
-// round).
+// round). The heard-set/rumor-set comparison is load-bearing: a node
+// that passes heard a neighbor-closed set of like-minded nodes, and in a
+// connected graph such a set must be all of V, so early termination with
+// an incomplete rumor set is impossible no matter how the underlying
+// broadcast primitive behaves on a too-small estimate.
 //
 // The broadcast primitive is pluggable ("any broadcast algorithm that
 // can broadcast and collect back information from all nodes at distance

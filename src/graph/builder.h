@@ -1,0 +1,85 @@
+#pragma once
+// Mutable construction phase for WeightedGraph.
+//
+// GraphBuilder is the only way to make a graph with edges: it accepts
+// add_edge() in any order, validates eagerly (self-loops, out-of-range
+// endpoints, duplicate edges in either orientation, latency < 1 — each
+// throws std::invalid_argument / std::out_of_range and leaves the
+// builder unchanged), and build() freezes the accumulated edge list
+// into the immutable CSR WeightedGraph (graph.h).
+//
+// Edge ids are assigned in insertion order and survive build()
+// unchanged — constructions that encode meaning in edge ids (the
+// guessing gadget's row-major cross edges) rely on this. Adjacency
+// order does NOT survive: build() sorts every adjacency slice by
+// neighbor id, so the finished graph is independent of insertion order
+// (covered by graph_builder_test).
+//
+// The duplicate-edge hash index lives here, in the construction phase,
+// not in WeightedGraph: the finished graph answers find_edge by binary
+// search and carries no hash tables.
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace latgossip {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Start a graph on `n` isolated nodes.
+  explicit GraphBuilder(std::size_t n);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Append one isolated node; returns its id.
+  NodeId add_node();
+
+  /// Add undirected edge {u, v} with the given latency.
+  /// Throws on self-loops, out-of-range endpoints, duplicate edges, or
+  /// latency < 1. Returns the new edge's id (== insertion index).
+  EdgeId add_edge(NodeId u, NodeId v, Latency latency = 1);
+
+  /// Edge id of {u, v} if already added (O(1) hash probe — generators
+  /// use this for rejection sampling mid-build).
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const { return find_edge(u, v).has_value(); }
+
+  /// Re-assign the latency of an already-added edge (gadget builders
+  /// add first, reveal fast latencies after). Throws if latency < 1.
+  void set_latency(EdgeId e, Latency latency);
+
+  /// Edges added so far, in insertion order (EdgeId == index).
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Freeze into an immutable CSR WeightedGraph. The builder is left
+  /// empty (0 nodes, 0 edges) and may be reused for a new graph.
+  WeightedGraph build();
+
+ private:
+  static std::uint64_t key(NodeId u, NodeId v) noexcept {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  void check_node(NodeId u) const {
+    if (u >= num_nodes_) throw std::out_of_range("node id out of range");
+  }
+
+  std::size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, EdgeId> edge_index_;
+};
+
+/// One-shot convenience: build a graph from a fixed edge list.
+///     auto g = build_graph(4, {{0, 1}, {1, 2, 5}});
+/// (Edge latency defaults to 1.)
+WeightedGraph build_graph(std::size_t n, std::initializer_list<Edge> edges);
+
+}  // namespace latgossip

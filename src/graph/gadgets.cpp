@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "graph/builder.h"
+
 namespace latgossip {
 
 TargetSet make_singleton_target(std::size_t m, Rng& rng) {
@@ -27,28 +29,33 @@ GuessingGadget make_guessing_gadget(std::size_t m, TargetSet target,
   if (m < 2) throw std::invalid_argument("gadget: m must be >= 2");
   if (fast_latency < 1 || slow_latency < fast_latency)
     throw std::invalid_argument("gadget: need 1 <= fast <= slow");
-  GuessingGadget gg{WeightedGraph(2 * m), m,       symmetric,
-                    fast_latency,         slow_latency, std::move(target)};
-  for (const auto& [i, j] : gg.target)
+  for (const auto& [i, j] : target)
     if (i >= m || j >= m)
       throw std::invalid_argument("gadget: target index out of range");
 
-  // Cross edges first (row-major) so edge id of (i, j) is i*m + j.
+  const auto left = [](std::size_t i) { return static_cast<NodeId>(i); };
+  const auto right = [m](std::size_t j) { return static_cast<NodeId>(m + j); };
+
+  GraphBuilder b(2 * m);
+  // Cross edges first (row-major) so edge id of (i, j) is i*m + j —
+  // build() preserves insertion-order edge ids.
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < m; ++j)
-      gg.graph.add_edge(gg.left(i), gg.right(j), slow_latency);
-  for (const auto& [i, j] : gg.target)
-    gg.graph.set_latency(gg.cross_edge(i, j), fast_latency);
+      b.add_edge(left(i), right(j), slow_latency);
+  for (const auto& [i, j] : target)
+    b.set_latency(static_cast<EdgeId>(i * m + j), fast_latency);
 
   // Clique on L (always) and on R (symmetric variant), latency 1.
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = i + 1; j < m; ++j)
-      gg.graph.add_edge(gg.left(i), gg.left(j), 1);
+      b.add_edge(left(i), left(j), 1);
   if (symmetric)
     for (std::size_t i = 0; i < m; ++i)
       for (std::size_t j = i + 1; j < m; ++j)
-        gg.graph.add_edge(gg.right(i), gg.right(j), 1);
-  return gg;
+        b.add_edge(right(i), right(j), 1);
+
+  return GuessingGadget{b.build(),    m,            symmetric,
+                        fast_latency, slow_latency, std::move(target)};
 }
 
 Theorem6Network make_theorem6_network(std::size_t n, std::size_t delta,
@@ -62,17 +69,17 @@ Theorem6Network make_theorem6_network(std::size_t n, std::size_t delta,
       delta, make_singleton_target(delta, rng), /*fast=*/1,
       /*slow=*/static_cast<Latency>(n), /*symmetric=*/false);
 
-  Theorem6Network net{WeightedGraph(n), std::move(gadget), delta};
-  // Copy gadget edges into the n-node graph (same node ids 0..2delta-1).
-  for (const Edge& e : net.gadget_info.graph.edges())
-    net.graph.add_edge(e.u, e.v, e.latency);
+  GraphBuilder b(n);
+  // Copy gadget edges into the n-node graph (same node ids 0..2delta-1,
+  // same edge ids — the gadget's cross-edge id arithmetic still holds).
+  for (const Edge& e : gadget.graph.edges()) b.add_edge(e.u, e.v, e.latency);
   // Clique on the remaining n - 2*delta nodes, one of which attaches to
   // gadget node 0 (a left vertex).
   const auto first_clique = static_cast<NodeId>(2 * delta);
   for (NodeId i = first_clique; i < n; ++i)
-    for (NodeId j = i + 1; j < n; ++j) net.graph.add_edge(i, j, 1);
-  if (first_clique < n) net.graph.add_edge(first_clique, 0, 1);
-  return net;
+    for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j, 1);
+  if (first_clique < n) b.add_edge(first_clique, 0, 1);
+  return Theorem6Network{b.build(), std::move(gadget), delta};
 }
 
 Theorem7Network make_theorem7_network(std::size_t n, Latency ell, double phi,
@@ -108,32 +115,35 @@ LayeredRing make_layered_ring(std::size_t num_layers, std::size_t layer_size,
     throw std::invalid_argument("ring: layer size must be >= 2");
   if (cross_latency < 1)
     throw std::invalid_argument("ring: cross latency must be >= 1");
-  LayeredRing ring{WeightedGraph(num_layers * layer_size), num_layers,
-                   layer_size, cross_latency,              {}};
+  const auto node = [layer_size](std::size_t layer, std::size_t index) {
+    return static_cast<NodeId>(layer * layer_size + index);
+  };
+  GraphBuilder b(num_layers * layer_size);
   // Cliques within each layer, latency 1.
   for (std::size_t a = 0; a < num_layers; ++a)
     for (std::size_t i = 0; i < layer_size; ++i)
       for (std::size_t j = i + 1; j < layer_size; ++j)
-        ring.graph.add_edge(ring.node(a, i), ring.node(a, j), 1);
+        b.add_edge(node(a, i), node(a, j), 1);
   // Complete bipartite gadget between consecutive layers; one uniformly
   // random fast (latency 1) cross edge per pair, the rest cross_latency.
-  ring.fast_cross_edges.reserve(num_layers);
+  std::vector<EdgeId> fast_cross_edges;
+  fast_cross_edges.reserve(num_layers);
   for (std::size_t a = 0; a < num_layers; ++a) {
-    const std::size_t b = (a + 1) % num_layers;
+    const std::size_t bb = (a + 1) % num_layers;
     const std::size_t fi = rng.uniform(layer_size);
     const std::size_t fj = rng.uniform(layer_size);
     EdgeId fast = kInvalidEdge;
     for (std::size_t i = 0; i < layer_size; ++i)
       for (std::size_t j = 0; j < layer_size; ++j) {
         const bool is_fast = (i == fi && j == fj);
-        const EdgeId e = ring.graph.add_edge(
-            ring.node(a, i), ring.node(b, j),
-            is_fast ? Latency{1} : cross_latency);
+        const EdgeId e = b.add_edge(node(a, i), node(bb, j),
+                                    is_fast ? Latency{1} : cross_latency);
         if (is_fast) fast = e;
       }
-    ring.fast_cross_edges.push_back(fast);
+    fast_cross_edges.push_back(fast);
   }
-  return ring;
+  return LayeredRing{b.build(), num_layers, layer_size, cross_latency,
+                     std::move(fast_cross_edges)};
 }
 
 LayeredRing make_theorem8_network(std::size_t n, double alpha, Latency ell,

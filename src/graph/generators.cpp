@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/builder.h"
+
 namespace latgossip {
 namespace {
 
@@ -16,42 +18,42 @@ namespace {
 
 WeightedGraph make_path(std::size_t n) {
   if (n == 0) throw std::invalid_argument("path: n must be >= 1");
-  WeightedGraph g(n);
-  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
-  return g;
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
 }
 
 WeightedGraph make_cycle(std::size_t n) {
   if (n < 3) throw std::invalid_argument("cycle: n must be >= 3");
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   for (NodeId i = 0; i < n; ++i)
-    g.add_edge(i, static_cast<NodeId>((i + 1) % n));
-  return g;
+    b.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  return b.build();
 }
 
 WeightedGraph make_star(std::size_t n) {
   if (n < 2) throw std::invalid_argument("star: n must be >= 2");
-  WeightedGraph g(n);
-  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
-  return g;
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(0, i);
+  return b.build();
 }
 
 WeightedGraph make_clique(std::size_t n) {
   if (n == 0) throw std::invalid_argument("clique: n must be >= 1");
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   for (NodeId i = 0; i < n; ++i)
-    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
-  return g;
+    for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return b.build();
 }
 
 WeightedGraph make_complete_bipartite(std::size_t a, std::size_t b) {
   if (a == 0 || b == 0)
     throw std::invalid_argument("bipartite: both sides must be nonempty");
-  WeightedGraph g(a + b);
+  GraphBuilder builder(a + b);
   for (NodeId i = 0; i < a; ++i)
     for (NodeId j = 0; j < b; ++j)
-      g.add_edge(i, static_cast<NodeId>(a + j));
-  return g;
+      builder.add_edge(i, static_cast<NodeId>(a + j));
+  return builder.build();
 }
 
 WeightedGraph make_grid(std::size_t rows, std::size_t cols, bool wrap) {
@@ -59,41 +61,41 @@ WeightedGraph make_grid(std::size_t rows, std::size_t cols, bool wrap) {
     throw std::invalid_argument("grid: dimensions must be positive");
   if (wrap && (rows < 3 || cols < 3))
     throw std::invalid_argument("torus: dimensions must be >= 3");
-  WeightedGraph g(rows * cols);
+  GraphBuilder b(rows * cols);
   auto id = [cols](std::size_t r, std::size_t c) {
     return static_cast<NodeId>(r * cols + c);
   };
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
-      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
-      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
-      if (wrap && c + 1 == cols) g.add_edge(id(r, c), id(r, 0));
-      if (wrap && r + 1 == rows) g.add_edge(id(r, c), id(0, c));
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      if (wrap && c + 1 == cols) b.add_edge(id(r, c), id(r, 0));
+      if (wrap && r + 1 == rows) b.add_edge(id(r, c), id(0, c));
     }
   }
-  return g;
+  return b.build();
 }
 
 WeightedGraph make_hypercube(std::size_t dim) {
   if (dim == 0 || dim > 24)
     throw std::invalid_argument("hypercube: dim must be in [1, 24]");
   const std::size_t n = std::size_t{1} << dim;
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   for (std::size_t u = 0; u < n; ++u)
-    for (std::size_t b = 0; b < dim; ++b) {
-      const std::size_t v = u ^ (std::size_t{1} << b);
+    for (std::size_t bit = 0; bit < dim; ++bit) {
+      const std::size_t v = u ^ (std::size_t{1} << bit);
       if (u < v)
-        g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+        b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
     }
-  return g;
+  return b.build();
 }
 
 WeightedGraph make_binary_tree(std::size_t n) {
   if (n == 0) throw std::invalid_argument("tree: n must be >= 1");
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   for (std::size_t i = 1; i < n; ++i)
-    g.add_edge(static_cast<NodeId>((i - 1) / 2), static_cast<NodeId>(i));
-  return g;
+    b.add_edge(static_cast<NodeId>((i - 1) / 2), static_cast<NodeId>(i));
+  return b.build();
 }
 
 WeightedGraph make_erdos_renyi(std::size_t n, double p, Rng& rng,
@@ -101,10 +103,11 @@ WeightedGraph make_erdos_renyi(std::size_t n, double p, Rng& rng,
   if (n == 0) throw std::invalid_argument("er: n must be >= 1");
   if (p < 0.0 || p > 1.0) throw std::invalid_argument("er: p out of [0,1]");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    WeightedGraph g(n);
+    GraphBuilder b(n);
     for (NodeId i = 0; i < n; ++i)
       for (NodeId j = i + 1; j < n; ++j)
-        if (rng.bernoulli(p)) g.add_edge(i, j);
+        if (rng.bernoulli(p)) b.add_edge(i, j);
+    auto g = b.build();
     if (g.is_connected()) return g;
   }
   fail_attempts("erdos_renyi");
@@ -124,17 +127,19 @@ WeightedGraph make_random_regular(std::size_t n, std::size_t d, Rng& rng,
     for (NodeId v = 0; v < n; ++v)
       for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
     rng.shuffle(stubs);
-    WeightedGraph g(n);
+    GraphBuilder b(n);
     bool ok = true;
     for (std::size_t i = 0; i < stubs.size(); i += 2) {
       const NodeId u = stubs[i], v = stubs[i + 1];
-      if (u == v || g.has_edge(u, v)) {
+      if (u == v || b.has_edge(u, v)) {
         ok = false;
         break;
       }
-      g.add_edge(u, v);
+      b.add_edge(u, v);
     }
-    if (ok && g.is_connected()) return g;
+    if (!ok) continue;
+    auto g = b.build();
+    if (g.is_connected()) return g;
   }
   fail_attempts("random_regular");
 }
@@ -147,7 +152,7 @@ WeightedGraph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
   if (beta < 0.0 || beta > 1.0)
     throw std::invalid_argument("ws: beta out of [0,1]");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    WeightedGraph g(n);
+    GraphBuilder b(n);
     // Ring lattice: each node connects to its k clockwise neighbors,
     // each such edge rewired (re-targeted) with probability beta.
     for (NodeId u = 0; u < n; ++u) {
@@ -157,15 +162,16 @@ WeightedGraph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
           // Pick a random non-self target avoiding duplicates.
           for (int tries = 0; tries < 32; ++tries) {
             const NodeId w = static_cast<NodeId>(rng.uniform(n));
-            if (w != u && !g.has_edge(u, w)) {
+            if (w != u && !b.has_edge(u, w)) {
               v = w;
               break;
             }
           }
         }
-        if (v != u && !g.has_edge(u, v)) g.add_edge(u, v);
+        if (v != u && !b.has_edge(u, v)) b.add_edge(u, v);
       }
     }
+    auto g = b.build();
     if (g.is_connected()) return g;
   }
   fail_attempts("watts_strogatz");
@@ -180,13 +186,14 @@ WeightedGraph make_random_geometric(
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     std::vector<std::pair<double, double>> pts(n);
     for (auto& p : pts) p = {rng.uniform_double(), rng.uniform_double()};
-    WeightedGraph g(n);
+    GraphBuilder b(n);
     for (NodeId i = 0; i < n; ++i)
       for (NodeId j = i + 1; j < n; ++j) {
         const double dx = pts[i].first - pts[j].first;
         const double dy = pts[i].second - pts[j].second;
-        if (dx * dx + dy * dy <= r2) g.add_edge(i, j);
+        if (dx * dx + dy * dy <= r2) b.add_edge(i, j);
       }
+    auto g = b.build();
     if (g.is_connected()) {
       if (coords != nullptr) *coords = std::move(pts);
       return g;
@@ -202,19 +209,19 @@ WeightedGraph make_ring_of_cliques(std::size_t num_cliques,
     throw std::invalid_argument("ring_of_cliques: need >= 3 cliques");
   if (clique_size < 2)
     throw std::invalid_argument("ring_of_cliques: clique size >= 2");
-  WeightedGraph g(num_cliques * clique_size);
+  GraphBuilder b(num_cliques * clique_size);
   auto id = [clique_size](std::size_t c, std::size_t i) {
     return static_cast<NodeId>(c * clique_size + i);
   };
   for (std::size_t c = 0; c < num_cliques; ++c)
     for (std::size_t i = 0; i < clique_size; ++i)
       for (std::size_t j = i + 1; j < clique_size; ++j)
-        g.add_edge(id(c, i), id(c, j));
+        b.add_edge(id(c, i), id(c, j));
   // Bridge: last node of clique c to first node of clique c+1.
   for (std::size_t c = 0; c < num_cliques; ++c)
-    g.add_edge(id(c, clique_size - 1), id((c + 1) % num_cliques, 0),
+    b.add_edge(id(c, clique_size - 1), id((c + 1) % num_cliques, 0),
                bridge_latency);
-  return g;
+  return b.build();
 }
 
 WeightedGraph make_dumbbell(std::size_t clique_size, std::size_t path_len,
@@ -222,15 +229,15 @@ WeightedGraph make_dumbbell(std::size_t clique_size, std::size_t path_len,
   if (clique_size < 2)
     throw std::invalid_argument("dumbbell: clique size >= 2");
   const std::size_t n = 2 * clique_size + (path_len > 0 ? path_len - 1 : 0);
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   auto left = [](std::size_t i) { return static_cast<NodeId>(i); };
   auto right = [&](std::size_t i) {
     return static_cast<NodeId>(clique_size + (path_len > 0 ? path_len - 1 : 0) + i);
   };
   for (std::size_t i = 0; i < clique_size; ++i)
     for (std::size_t j = i + 1; j < clique_size; ++j) {
-      g.add_edge(left(i), left(j));
-      g.add_edge(right(i), right(j));
+      b.add_edge(left(i), left(j));
+      b.add_edge(right(i), right(j));
     }
   if (path_len == 0) throw std::invalid_argument("dumbbell: path_len >= 1");
   // Path of path_len edges from last left node to first right node via
@@ -238,11 +245,11 @@ WeightedGraph make_dumbbell(std::size_t clique_size, std::size_t path_len,
   NodeId prev = left(clique_size - 1);
   for (std::size_t i = 0; i < path_len - 1; ++i) {
     const NodeId mid = static_cast<NodeId>(clique_size + i);
-    g.add_edge(prev, mid, path_latency);
+    b.add_edge(prev, mid, path_latency);
     prev = mid;
   }
-  g.add_edge(prev, right(0), path_latency);
-  return g;
+  b.add_edge(prev, right(0), path_latency);
+  return b.build();
 }
 
 WeightedGraph make_barabasi_albert(std::size_t n, std::size_t attach,
@@ -250,14 +257,14 @@ WeightedGraph make_barabasi_albert(std::size_t n, std::size_t attach,
   if (attach < 1) throw std::invalid_argument("ba: attach must be >= 1");
   if (n <= attach)
     throw std::invalid_argument("ba: n must exceed the attach count");
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   // Seed clique on the first `attach` (or at least 2) nodes.
   const std::size_t seed_nodes = std::max<std::size_t>(attach, 2);
   for (NodeId i = 0; i < seed_nodes; ++i)
-    for (NodeId j = i + 1; j < seed_nodes; ++j) g.add_edge(i, j);
+    for (NodeId j = i + 1; j < seed_nodes; ++j) b.add_edge(i, j);
   // Degree-proportional sampling via the repeated-endpoint list.
   std::vector<NodeId> endpoints;
-  for (const Edge& e : g.edges()) {
+  for (const Edge& e : b.edges()) {
     endpoints.push_back(e.u);
     endpoints.push_back(e.v);
   }
@@ -270,21 +277,21 @@ WeightedGraph make_barabasi_albert(std::size_t n, std::size_t attach,
       if (!dup) chosen.push_back(cand);
     }
     for (NodeId c : chosen) {
-      g.add_edge(v, c);
+      b.add_edge(v, c);
       endpoints.push_back(v);
       endpoints.push_back(c);
     }
   }
-  return g;
+  return b.build();
 }
 
 WeightedGraph make_kary_tree(std::size_t n, std::size_t b) {
   if (n == 0) throw std::invalid_argument("kary: n must be >= 1");
   if (b < 2) throw std::invalid_argument("kary: branching must be >= 2");
-  WeightedGraph g(n);
+  GraphBuilder builder(n);
   for (std::size_t i = 1; i < n; ++i)
-    g.add_edge(static_cast<NodeId>((i - 1) / b), static_cast<NodeId>(i));
-  return g;
+    builder.add_edge(static_cast<NodeId>((i - 1) / b), static_cast<NodeId>(i));
+  return builder.build();
 }
 
 WeightedGraph make_path_of_cliques(std::size_t num_cliques,
@@ -294,17 +301,17 @@ WeightedGraph make_path_of_cliques(std::size_t num_cliques,
     throw std::invalid_argument("path_of_cliques: need >= 2 cliques");
   if (clique_size < 2)
     throw std::invalid_argument("path_of_cliques: clique size >= 2");
-  WeightedGraph g(num_cliques * clique_size);
+  GraphBuilder b(num_cliques * clique_size);
   auto id = [clique_size](std::size_t c, std::size_t i) {
     return static_cast<NodeId>(c * clique_size + i);
   };
   for (std::size_t c = 0; c < num_cliques; ++c)
     for (std::size_t i = 0; i < clique_size; ++i)
       for (std::size_t j = i + 1; j < clique_size; ++j)
-        g.add_edge(id(c, i), id(c, j));
+        b.add_edge(id(c, i), id(c, j));
   for (std::size_t c = 0; c + 1 < num_cliques; ++c)
-    g.add_edge(id(c, clique_size - 1), id(c + 1, 0), bridge_latency);
-  return g;
+    b.add_edge(id(c, clique_size - 1), id(c + 1, 0), bridge_latency);
+  return b.build();
 }
 
 }  // namespace latgossip

@@ -1,28 +1,13 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace latgossip {
 
-WeightedGraph::WeightedGraph(std::size_t n) : adjacency_(n) {
+WeightedGraph::WeightedGraph(std::size_t n) : offsets_(n + 1, 0) {
   if (n > static_cast<std::size_t>(kInvalidNode))
     throw std::invalid_argument("graph too large for NodeId");
-}
-
-EdgeId WeightedGraph::add_edge(NodeId u, NodeId v, Latency latency) {
-  check_node(u);
-  check_node(v);
-  if (u == v) throw std::invalid_argument("self-loops are not allowed");
-  if (latency < 1) throw std::invalid_argument("latency must be >= 1");
-  const auto k = key(u, v);
-  if (edge_index_.count(k) != 0)
-    throw std::invalid_argument("duplicate edge");
-  const auto e = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(Edge{u, v, latency});
-  adjacency_[u].push_back(HalfEdge{v, e});
-  adjacency_[v].push_back(HalfEdge{u, e});
-  edge_index_.emplace(k, e);
-  return e;
 }
 
 NodeId WeightedGraph::other_endpoint(EdgeId e, NodeId u) const {
@@ -42,15 +27,14 @@ std::optional<EdgeId> WeightedGraph::find_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);
   if (u == v) return std::nullopt;
-  auto it = edge_index_.find(key(u, v));
-  if (it == edge_index_.end()) return std::nullopt;
-  return it->second;
-}
-
-std::size_t WeightedGraph::max_degree() const noexcept {
-  std::size_t d = 0;
-  for (const auto& adj : adjacency_) d = std::max(d, adj.size());
-  return d;
+  // Search from the lower-degree endpoint; slices are sorted by .to.
+  if (degree(v) < degree(u)) std::swap(u, v);
+  const HalfEdge* first = half_edges_.data() + offsets_[u];
+  const HalfEdge* last = half_edges_.data() + offsets_[u + 1];
+  const HalfEdge* it = std::lower_bound(
+      first, last, v, [](const HalfEdge& h, NodeId t) { return h.to < t; });
+  if (it == last || it->to != v) return std::nullopt;
+  return it->edge;
 }
 
 Latency WeightedGraph::max_latency() const noexcept {
@@ -69,16 +53,16 @@ Latency WeightedGraph::min_latency() const noexcept {
 bool WeightedGraph::is_connected() const {
   const std::size_t n = num_nodes();
   if (n <= 1) return true;
-  std::vector<bool> seen(n, false);
+  Bitset seen(n);
   std::vector<NodeId> stack{0};
-  seen[0] = true;
+  seen.set(0);
   std::size_t visited = 1;
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    for (const HalfEdge& h : adjacency_[u]) {
-      if (!seen[h.to]) {
-        seen[h.to] = true;
+    for (const HalfEdge& h : neighbors(u)) {
+      if (!seen.test(h.to)) {
+        seen.set(h.to);
         ++visited;
         stack.push_back(h.to);
       }
@@ -87,12 +71,20 @@ bool WeightedGraph::is_connected() const {
   return visited == n;
 }
 
-std::size_t WeightedGraph::volume(const std::vector<bool>& in_set) const {
+std::size_t WeightedGraph::volume(const Bitset& in_set) const {
   if (in_set.size() != num_nodes())
     throw std::invalid_argument("volume: membership size mismatch");
   std::size_t vol = 0;
-  for (NodeId u = 0; u < num_nodes(); ++u)
-    if (in_set[u]) vol += adjacency_[u].size();
+  const auto words = in_set.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::size_t u =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      vol += offsets_[u + 1] - offsets_[u];
+      w &= w - 1;
+    }
+  }
   return vol;
 }
 

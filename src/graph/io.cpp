@@ -1,6 +1,8 @@
 #include "graph/io.h"
 
 #include <fstream>
+
+#include "graph/builder.h"
 #include <sstream>
 #include <stdexcept>
 
@@ -49,16 +51,16 @@ WeightedGraph read_graph(std::istream& in) {
   skip_noise(in);
   std::size_t n = 0, m = 0;
   if (!(in >> n >> m)) fail("missing size line");
-  WeightedGraph g(n);
+  GraphBuilder b(n);
   for (std::size_t i = 0; i < m; ++i) {
     skip_noise(in);
     std::uint64_t u = 0, v = 0;
     Latency latency = 0;
     if (!(in >> u >> v >> latency)) fail("truncated edge list");
     if (u >= n || v >= n) fail("edge endpoint out of range");
-    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), latency);
+    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), latency);
   }
-  return g;
+  return b.build();
 }
 
 void save_graph(const std::string& path, const WeightedGraph& g) {

@@ -13,6 +13,7 @@
 #include "util/table.h"
 
 // Graph substrate
+#include "graph/builder.h"
 #include "graph/digraph.h"
 #include "graph/gadgets.h"
 #include "graph/generators.h"

@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -142,6 +143,12 @@ class Bitset {
     }
     return h ^ size_;
   }
+
+  /// Read-only view of the packed 64-bit words (bit i of the set lives
+  /// at word i/64, bit i%64; bits past size() are zero). Lets callers —
+  /// graph volume, conductance cut sweeps — iterate set words instead
+  /// of individual bits.
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
 
   /// Indices of all set bits, ascending.
   std::vector<std::size_t> to_indices() const {

@@ -35,8 +35,7 @@ TEST(Metrics, AccumulateSumsAndTracksPeak) {
 }
 
 TEST(Engine, TwoNodeGraphSmallestNontrivialCase) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(2, {{0, 1, 1}});
   NetworkView view(g, false);
   PushPullBroadcast proto(view, 0, Rng(1));
   const SimResult r = run_gossip(g, proto, {});
@@ -82,8 +81,7 @@ TEST(Eid, SingleNodeAndTwoNodeGraphs) {
     EXPECT_TRUE(out.success);
   }
   {
-    WeightedGraph g(2);
-    g.add_edge(0, 1, 4);
+    const auto g = build_graph(2, {{0, 1, 4}});
     const GeneralEidOutcome out = run_general_eid(g, 0, rng);
     EXPECT_TRUE(out.success);
     EXPECT_TRUE(all_sets_full(out.rumors));
@@ -92,8 +90,7 @@ TEST(Eid, SingleNodeAndTwoNodeGraphs) {
 }
 
 TEST(Unified, TwoNodeGraph) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 3);
+  const auto g = build_graph(2, {{0, 1, 3}});
   Rng rng(5);
   UnifiedOptions opts;
   opts.latencies_known = true;
@@ -103,8 +100,7 @@ TEST(Unified, TwoNodeGraph) {
 }
 
 TEST(Spanner, SingleEdgeGraph) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 7);
+  const auto g = build_graph(2, {{0, 1, 7}});
   Rng rng(7);
   const auto spanner = build_baswana_sen_spanner(g, {2, 0}, rng);
   const auto undirected = spanner.to_undirected();

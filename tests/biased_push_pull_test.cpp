@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/push_pull.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -69,10 +70,7 @@ TEST(BiasedPushPull, BiasAvoidsSlowEdges) {
 TEST(BiasedPushPull, ExtremeBiasStillCorrectWhenFastGraphDisconnected) {
   // Path whose middle edge is slow: even with heavy bias the protocol
   // must eventually cross it (bias never zeroes a probability).
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 40);
-  g.add_edge(2, 3, 1);
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 40}, {2, 3, 1}});
   const SimResult r = run_biased(g, 3.0, 11);
   EXPECT_TRUE(r.completed);
   EXPECT_GE(r.rounds, 40);

@@ -1,0 +1,167 @@
+// Property tests for the GraphBuilder -> CSR WeightedGraph pipeline:
+// the finished graph is checked against a brute-force edge-list
+// reference on random inputs, and the simulator is checked to be
+// insensitive to the order edges were inserted (sorted adjacency makes
+// the finished graph a pure function of the edge *set*).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/push_pull.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace latgossip {
+namespace {
+
+/// Brute-force reference: answers every query by a linear scan over the
+/// flat edge list, with none of the CSR machinery under test.
+class ReferenceGraph {
+ public:
+  ReferenceGraph(std::size_t n, std::vector<Edge> edges)
+      : n_(n), edges_(std::move(edges)) {}
+
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const {
+    for (EdgeId e = 0; e < edges_.size(); ++e)
+      if ((edges_[e].u == u && edges_[e].v == v) ||
+          (edges_[e].u == v && edges_[e].v == u))
+        return e;
+    return std::nullopt;
+  }
+
+  std::size_t degree(NodeId u) const {
+    std::size_t d = 0;
+    for (const Edge& e : edges_)
+      if (e.u == u || e.v == u) ++d;
+    return d;
+  }
+
+  std::vector<NodeId> sorted_neighbors(NodeId u) const {
+    std::vector<NodeId> out;
+    for (const Edge& e : edges_) {
+      if (e.u == u) out.push_back(e.v);
+      if (e.v == u) out.push_back(e.u);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::size_t num_nodes() const { return n_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;
+};
+
+/// Random edge set on n nodes: each pair kept with probability p,
+/// latencies uniform in [1, 9].
+std::vector<Edge> random_edge_set(std::size_t n, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.uniform_double() < p)
+        edges.push_back({u, v, static_cast<Latency>(1 + rng.uniform(9))});
+  return edges;
+}
+
+TEST(BuilderProperty, MatchesBruteForceReference) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform(30);
+    const double p = 0.05 + 0.4 * rng.uniform_double();
+    ReferenceGraph ref(n, random_edge_set(n, p, rng));
+
+    GraphBuilder b(n);
+    for (const Edge& e : ref.edges()) b.add_edge(e.u, e.v, e.latency);
+    const WeightedGraph g = b.build();
+
+    ASSERT_EQ(g.num_nodes(), n);
+    ASSERT_EQ(g.num_edges(), ref.edges().size());
+    std::size_t max_deg = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_EQ(g.degree(u), ref.degree(u)) << "node " << u;
+      max_deg = std::max(max_deg, ref.degree(u));
+      // Adjacency comes back sorted by neighbor id, and every half-edge
+      // round-trips through other_endpoint.
+      const auto neigh = g.neighbors(u);
+      const auto expect = ref.sorted_neighbors(u);
+      ASSERT_EQ(neigh.size(), expect.size()) << "node " << u;
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        EXPECT_EQ(neigh[i].to, expect[i]) << "node " << u << " slot " << i;
+        EXPECT_EQ(g.other_endpoint(neigh[i].edge, u), neigh[i].to);
+      }
+    }
+    EXPECT_EQ(g.max_degree(), max_deg);
+    // find_edge agrees with the linear scan on every pair, present or
+    // absent, in both orientations.
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = 0; v < n; ++v) {
+        if (u == v) continue;
+        const auto got = g.find_edge(u, v);
+        const auto want = ref.find_edge(u, v);
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "pair " << u << "," << v;
+        if (got) {
+          EXPECT_EQ(*got, *want);
+          EXPECT_EQ(g.latency(*got), ref.edges()[*want].latency);
+        }
+      }
+    // Edge ids are the insertion order.
+    for (EdgeId e = 0; e < ref.edges().size(); ++e) {
+      EXPECT_EQ(g.edge(e).u, ref.edges()[e].u);
+      EXPECT_EQ(g.edge(e).v, ref.edges()[e].v);
+      EXPECT_EQ(g.edge(e).latency, ref.edges()[e].latency);
+    }
+  }
+}
+
+/// Seeded push-pull on the built graph must not depend on the order in
+/// which edges were fed to the builder: the CSR layout sorts adjacency,
+/// so the neighbor a node draws for a given rng state is a function of
+/// the edge set alone.
+TEST(BuilderProperty, SimResultInvariantUnderInsertionOrder) {
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Edge> edges;
+    WeightedGraph base;
+    do {
+      edges = random_edge_set(12, 0.3, rng);
+      GraphBuilder b(12);
+      for (const Edge& e : edges) b.add_edge(e.u, e.v, e.latency);
+      base = b.build();
+    } while (!base.is_connected());
+
+    auto run = [](const WeightedGraph& g, std::uint64_t seed) {
+      NetworkView view(g, false);
+      PushPullBroadcast proto(view, 0, Rng(seed));
+      SimOptions opts;
+      opts.max_rounds = 1'000'000;
+      return run_gossip(g, proto, opts);
+    };
+    const SimResult want = run(base, trial + 1);
+    ASSERT_TRUE(want.completed);
+
+    for (int perm = 0; perm < 4; ++perm) {
+      std::vector<Edge> shuffled = edges;
+      for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1], shuffled[rng.uniform(i)]);
+      GraphBuilder b(12);
+      for (const Edge& e : shuffled) b.add_edge(e.u, e.v, e.latency);
+      const WeightedGraph g = b.build();
+      const SimResult got = run(g, trial + 1);
+      EXPECT_EQ(got.rounds, want.rounds);
+      EXPECT_EQ(got.activations, want.activations);
+      EXPECT_EQ(got.messages_delivered, want.messages_delivered);
+      EXPECT_EQ(got.completed, want.completed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace latgossip

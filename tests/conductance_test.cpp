@@ -7,6 +7,7 @@
 
 #include "analysis/conductance.h"
 #include "graph/gadgets.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 
@@ -19,8 +20,9 @@ double brute_force_phi(const WeightedGraph& g, Latency ell) {
   const std::size_t vol_total = 2 * g.num_edges();
   double best = std::numeric_limits<double>::infinity();
   for (std::uint64_t mask = 1; mask + 1 < (std::uint64_t{1} << n); ++mask) {
-    std::vector<bool> in_set(n);
-    for (std::size_t v = 0; v < n; ++v) in_set[v] = (mask >> v) & 1;
+    Bitset in_set(n);
+    for (std::size_t v = 0; v < n; ++v)
+      if ((mask >> v) & 1) in_set.set(v);
     const std::size_t vol = g.volume(in_set);
     const std::size_t vmin = std::min(vol, vol_total - vol);
     if (vmin == 0) continue;
@@ -32,12 +34,10 @@ double brute_force_phi(const WeightedGraph& g, Latency ell) {
 }
 
 TEST(CutPrimitives, CutEdgesLeq) {
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 5);
-  g.add_edge(2, 3, 1);
-  g.add_edge(0, 3, 5);
-  const std::vector<bool> cut{true, true, false, false};
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 5}, {2, 3, 1}, {0, 3, 5}});
+  Bitset cut(4);
+  cut.set(0);
+  cut.set(1);
   EXPECT_EQ(cut_edges_leq(g, cut, 1), 0u);
   EXPECT_EQ(cut_edges_leq(g, cut, 5), 2u);
   EXPECT_EQ(cut_edges_leq(g, cut, 100), 2u);
@@ -45,11 +45,12 @@ TEST(CutPrimitives, CutEdgesLeq) {
 
 TEST(CutPrimitives, PhiOfCut) {
   auto g = make_cycle(4);
-  const std::vector<bool> half{true, true, false, false};
+  Bitset half(4);
+  half.set(0);
+  half.set(1);
   // 2 cut edges; both sides have volume 4.
   EXPECT_DOUBLE_EQ(phi_ell_of_cut(g, half, 1), 0.5);
-  EXPECT_THROW(phi_ell_of_cut(g, {false, false, false, false}, 1),
-               std::invalid_argument);
+  EXPECT_THROW(phi_ell_of_cut(g, Bitset(4), 1), std::invalid_argument);
 }
 
 TEST(ExactConductance, PathP4) {
@@ -89,8 +90,7 @@ TEST(ExactConductance, GuardsAgainstLargeGraphs) {
 }
 
 TEST(ExactConductance, RejectsIsolatedNode) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(3, {{0, 1, 1}});
   EXPECT_THROW(conductance_exact(g), std::invalid_argument);
 }
 

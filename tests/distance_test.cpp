@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/distance.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 
@@ -22,25 +23,19 @@ TEST(Dijkstra, WeightedPath) {
 }
 
 TEST(Dijkstra, PrefersCheapDetour) {
-  WeightedGraph g(3);
-  g.add_edge(0, 2, 10);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 1);
+  const auto g = build_graph(3, {{0, 2, 10}, {0, 1, 1}, {1, 2, 1}});
   const auto d = dijkstra(g, 0);
   EXPECT_EQ(d[2], 2);
 }
 
 TEST(Dijkstra, UnreachableSentinel) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(3, {{0, 1, 1}});
   const auto d = dijkstra(g, 0);
   EXPECT_EQ(d[2], kUnreachable);
 }
 
 TEST(Dijkstra, CappedIgnoresSlowEdges) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 5);
-  g.add_edge(1, 2, 2);
+  const auto g = build_graph(3, {{0, 1, 5}, {1, 2, 2}});
   const auto d = dijkstra_capped(g, 0, 4);
   EXPECT_EQ(d[1], kUnreachable);  // 5 > cap
   EXPECT_EQ(d[2], kUnreachable);
@@ -75,8 +70,7 @@ TEST(Distance, EccentricityAndDiameter) {
 }
 
 TEST(Distance, DiameterDisconnected) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(3, {{0, 1, 1}});
   EXPECT_EQ(weighted_diameter(g), kUnreachable);
   EXPECT_EQ(hop_diameter(g), kUnreachable);
 }

@@ -4,6 +4,7 @@
 
 #include "core/dtg.h"
 #include "core/rr_broadcast.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -82,10 +83,7 @@ TEST(Dtg, IterationCountLogarithmic) {
 TEST(Dtg, EllCapRestrictsToGell) {
   // Triangle with one slow edge: at ell = 1 the slow pair need not
   // exchange directly, but the two fast pairs must.
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 1);
-  g.add_edge(0, 2, 10);
+  const auto g = build_graph(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 10}});
   const DtgRun run = run_dtg(g, 1);
   EXPECT_TRUE(run.sim.completed);
   expect_local_broadcast(g, 1, run.rumors);
@@ -108,9 +106,7 @@ TEST(Dtg, SuperroundsScaleWithEll) {
 TEST(Dtg, NodeWithoutFastNeighborsIdles) {
   // Node 2 is attached only via a slow edge; at ell = 1 it terminates
   // immediately and the rest complete among themselves.
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 8);
+  const auto g = build_graph(3, {{0, 1, 1}, {1, 2, 8}});
   const DtgRun run = run_dtg(g, 1);
   EXPECT_TRUE(run.sim.completed);
   EXPECT_TRUE(run.rumors[0].test(1));

@@ -7,6 +7,7 @@
 #include "core/eid.h"
 #include "core/rr_broadcast.h"
 #include "core/termination.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 
@@ -36,10 +37,7 @@ TEST(Eid, AllToAllOnWeightedGrid) {
 
 TEST(Eid, UnderestimatedDiameterFailsGracefully) {
   // Path with heavy middle edge: estimate 1 cannot reach across.
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 20);
-  g.add_edge(2, 3, 1);
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 20}, {2, 3, 1}});
   Rng rng(5);
   EidOptions opts;
   opts.diameter_estimate = 1;
@@ -90,10 +88,7 @@ TEST(GeneralEid, HeavyBridgeForcesDoubling) {
   // No rumor can cross a latency-20 bridge while the estimate k < 20 —
   // every algorithm phase ignores edges slower than k — so the doubling
   // must reach at least 32.
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 20);
-  g.add_edge(2, 3, 1);
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 20}, {2, 3, 1}});
   Rng rng(12);
   const GeneralEidOutcome out = run_general_eid(g, 0, rng);
   ASSERT_TRUE(out.success);

@@ -7,6 +7,7 @@
 
 #include "core/push_pull.h"
 #include "graph/generators.h"
+#include "graph/builder.h"
 #include "graph/graph.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -58,8 +59,7 @@ class ScriptedProtocol {
 };
 
 TEST(Engine, ExchangeTakesEdgeLatencyAndIsBidirectional) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 3);
+  const auto g = build_graph(2, {{0, 1, 3}});
   ScriptedProtocol proto(2);
   proto.schedule(0, 0, 1);
   SimOptions opts;
@@ -79,8 +79,7 @@ TEST(Engine, ExchangeTakesEdgeLatencyAndIsBidirectional) {
 TEST(Engine, NonBlockingPipelining) {
   // Node 0 initiates on a latency-5 edge in rounds 0,1,2; all three
   // exchanges are in flight simultaneously.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 5);
+  const auto g = build_graph(2, {{0, 1, 5}});
   ScriptedProtocol proto(2);
   for (Round r = 0; r < 3; ++r) proto.schedule(0, r, 1);
   const SimResult result = run_gossip(g, proto, {});
@@ -95,16 +94,14 @@ TEST(Engine, NonBlockingPipelining) {
 }
 
 TEST(Engine, SelectingNonNeighborThrows) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(3, {{0, 1, 1}});
   ScriptedProtocol proto(3);
   proto.schedule(0, 0, 2);  // not a neighbor
   EXPECT_THROW(run_gossip(g, proto, {}), std::logic_error);
 }
 
 TEST(Engine, StopsWhenIdle) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 4);
+  const auto g = build_graph(2, {{0, 1, 4}});
   ScriptedProtocol proto(2);
   proto.schedule(0, 0, 1);
   SimOptions opts;
@@ -116,8 +113,7 @@ TEST(Engine, StopsWhenIdle) {
 }
 
 TEST(Engine, MaxRoundsTimeout) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(2, {{0, 1, 1}});
 
   struct Chatty {
     using Payload = int;
@@ -137,8 +133,7 @@ TEST(Engine, MaxRoundsTimeout) {
 }
 
 TEST(Engine, DoneCheckedAfterDeliveries) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 2);
+  const auto g = build_graph(2, {{0, 1, 2}});
 
   // Protocol completes once node 1 received anything.
   struct OneShot {
@@ -160,9 +155,7 @@ TEST(Engine, DoneCheckedAfterDeliveries) {
 }
 
 TEST(Engine, ActivationObserverSeesEveryInitiation) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 2);
+  const auto g = build_graph(3, {{0, 1, 1}, {1, 2, 2}});
   ScriptedProtocol proto(3);
   proto.schedule(0, 0, 1);
   proto.schedule(1, 1, 2);
@@ -185,8 +178,9 @@ TEST(Engine, EmptyGraphCompletesImmediately) {
 }
 
 TEST(NetworkView, LatencyAccessGuarded) {
-  WeightedGraph g(2);
-  const EdgeId e = g.add_edge(0, 1, 6);
+  GraphBuilder b(2);
+  const EdgeId e = b.add_edge(0, 1, 6);
+  const WeightedGraph g = b.build();
   const NetworkView unknown(g, false);
   EXPECT_THROW((void)unknown.latency(e), std::logic_error);
   const NetworkView known(g, true);
@@ -232,9 +226,7 @@ class ContactScriptedProtocol {
 };
 
 TEST(Engine, ContactApiResolvesEdgeWithoutLookup) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 3);
-  g.add_edge(1, 2, 2);
+  const auto g = build_graph(3, {{0, 1, 3}, {1, 2, 2}});
   ContactScriptedProtocol proto(3);
   const HalfEdge& h01 = g.edge_at(0, 0);
   proto.schedule(0, 0, Contact{h01.to, h01.edge});
@@ -248,9 +240,10 @@ TEST(Engine, ContactApiResolvesEdgeWithoutLookup) {
 }
 
 TEST(Engine, MismatchedContactEdgeThrows) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
-  const EdgeId far = g.add_edge(1, 2, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  const EdgeId far = b.add_edge(1, 2, 1);
+  const WeightedGraph g = b.build();
   // Edge {1,2} does not join {0,1}: the engine's validation must catch
   // a protocol lying about its contact edge.
   ContactScriptedProtocol lying(3);
@@ -292,8 +285,7 @@ TEST(Engine, JitterBeyondLatencyHorizonGrowsCalendarQueue) {
   // Nominal max latency is 2, so the calendar ring starts tiny; a
   // jitter hook stretching one exchange to 1000 rounds must trigger the
   // re-bucketing growth path and still deliver at the right round.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 2);
+  const auto g = build_graph(2, {{0, 1, 2}});
   ScriptedProtocol proto(2);
   proto.schedule(0, 0, 1);
   proto.schedule(0, 1, 1);
@@ -319,8 +311,7 @@ TEST(Engine, JitterBeyondLatencyHorizonGrowsCalendarQueue) {
 TEST(Engine, BothEndpointsSnapshotAtInitiationRound) {
   // Node 1 also initiates at round 1; node 0's exchange from round 0
   // must still carry round-0 snapshots (checked inside deliver()).
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 4);
+  const auto g = build_graph(2, {{0, 1, 4}});
   ScriptedProtocol proto(2);
   proto.schedule(0, 0, 1);
   proto.schedule(1, 1, 0);

@@ -1,7 +1,8 @@
-// Unit tests for WeightedGraph and DirectedGraph.
+// Unit tests for the CSR WeightedGraph, GraphBuilder, and DirectedGraph.
 
 #include <gtest/gtest.h>
 
+#include "graph/builder.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
 
@@ -13,11 +14,15 @@ TEST(WeightedGraph, EmptyGraph) {
   EXPECT_EQ(g.num_nodes(), 0u);
   EXPECT_EQ(g.num_edges(), 0u);
   EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(WeightedGraph().is_connected());
+  EXPECT_EQ(GraphBuilder(0).build().num_nodes(), 0u);
 }
 
-TEST(WeightedGraph, AddEdgeBasics) {
-  WeightedGraph g(3);
-  const EdgeId e = g.add_edge(0, 1, 5);
+TEST(GraphBuilder, AddEdgeBasics) {
+  GraphBuilder b(3);
+  const EdgeId e = b.add_edge(0, 1, 5);
+  EXPECT_EQ(b.num_edges(), 1u);
+  const WeightedGraph g = b.build();
   EXPECT_EQ(g.num_edges(), 1u);
   EXPECT_EQ(g.latency(e), 5);
   EXPECT_EQ(g.edge(e).u, 0u);
@@ -30,85 +35,148 @@ TEST(WeightedGraph, AddEdgeBasics) {
   EXPECT_THROW(g.other_endpoint(e, 2), std::invalid_argument);
 }
 
-TEST(WeightedGraph, RejectsSelfLoop) {
-  WeightedGraph g(2);
-  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
 }
 
-TEST(WeightedGraph, RejectsDuplicateEitherOrientation) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1);
-  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
-  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+TEST(GraphBuilder, RejectsDuplicateEitherOrientation) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(1, 0), std::invalid_argument);
 }
 
-TEST(WeightedGraph, RejectsBadLatency) {
-  WeightedGraph g(2);
-  EXPECT_THROW(g.add_edge(0, 1, 0), std::invalid_argument);
-  EXPECT_THROW(g.add_edge(0, 1, -3), std::invalid_argument);
+TEST(GraphBuilder, RejectsBadLatency) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -3), std::invalid_argument);
 }
 
-TEST(WeightedGraph, RejectsOutOfRangeEndpoint) {
-  WeightedGraph g(2);
-  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(GraphBuilder, HasEdgeMidBuildAndSetLatency) {
+  GraphBuilder b(3);
+  const EdgeId e = b.add_edge(0, 1, 4);
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_TRUE(b.has_edge(1, 0));
+  EXPECT_FALSE(b.has_edge(0, 2));
+  EXPECT_EQ(b.find_edge(1, 0), e);
+  b.set_latency(e, 9);
+  EXPECT_THROW(b.set_latency(e, 0), std::invalid_argument);
+  EXPECT_THROW(b.set_latency(5, 1), std::out_of_range);
+  EXPECT_EQ(b.build().latency(e), 9);
+}
+
+TEST(GraphBuilder, AddNodeGrowsGraph) {
+  GraphBuilder b(1);
+  const NodeId v = b.add_node();
+  EXPECT_EQ(v, 1u);
+  b.add_edge(0, v);
+  const WeightedGraph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GraphBuilder, BuildResetsBuilderForReuse) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const WeightedGraph first = b.build();
+  EXPECT_EQ(first.num_edges(), 1u);
+  EXPECT_EQ(b.num_nodes(), 0u);
+  EXPECT_EQ(b.num_edges(), 0u);
+  // Reusable: start over with fresh ids.
+  b.add_node();
+  b.add_node();
+  b.add_edge(0, 1, 3);
+  EXPECT_EQ(b.build().latency(0), 3);
+}
+
+TEST(GraphBuilder, BuildGraphHelper) {
+  const auto g = build_graph(3, {{0, 1}, {1, 2, 7}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.latency(*g.find_edge(1, 2)), 7);
+  EXPECT_EQ(g.latency(*g.find_edge(0, 1)), 1);
 }
 
 TEST(WeightedGraph, FindEdgeBothDirections) {
-  WeightedGraph g(4);
-  const EdgeId e = g.add_edge(2, 3, 7);
+  GraphBuilder b(4);
+  const EdgeId e = b.add_edge(2, 3, 7);
+  const WeightedGraph g = b.build();
   EXPECT_EQ(g.find_edge(2, 3), e);
   EXPECT_EQ(g.find_edge(3, 2), e);
   EXPECT_FALSE(g.find_edge(0, 1).has_value());
   EXPECT_FALSE(g.find_edge(2, 2).has_value());
+  EXPECT_THROW((void)g.find_edge(0, 4), std::out_of_range);
 }
 
 TEST(WeightedGraph, SetLatencyMutates) {
-  WeightedGraph g(2);
-  const EdgeId e = g.add_edge(0, 1, 1);
+  GraphBuilder b(2);
+  const EdgeId e = b.add_edge(0, 1, 1);
+  WeightedGraph g = b.build();
   g.set_latency(e, 9);
   EXPECT_EQ(g.latency(e), 9);
   EXPECT_THROW(g.set_latency(e, 0), std::invalid_argument);
 }
 
 TEST(WeightedGraph, DegreeAndLatencyExtremes) {
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 2);
-  g.add_edge(0, 2, 8);
-  g.add_edge(0, 3, 5);
+  const auto g = build_graph(4, {{0, 1, 2}, {0, 2, 8}, {0, 3, 5}});
   EXPECT_EQ(g.max_degree(), 3u);
   EXPECT_EQ(g.max_latency(), 8);
   EXPECT_EQ(g.min_latency(), 2);
 }
 
 TEST(WeightedGraph, ConnectivityDetection) {
-  WeightedGraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(2, 3);
-  EXPECT_FALSE(g.is_connected());
-  g.add_edge(1, 2);
-  EXPECT_TRUE(g.is_connected());
+  EXPECT_FALSE(build_graph(4, {{0, 1}, {2, 3}}).is_connected());
+  EXPECT_TRUE(build_graph(4, {{0, 1}, {2, 3}, {1, 2}}).is_connected());
 }
 
 TEST(WeightedGraph, VolumeMatchesDefinition) {
   // Path 0-1-2: deg = 1,2,1.
-  WeightedGraph g(3);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  EXPECT_EQ(g.volume({true, false, false}), 1u);
-  EXPECT_EQ(g.volume({true, true, false}), 3u);
-  EXPECT_EQ(g.volume({true, true, true}), 4u);  // = 2|E|
-  EXPECT_THROW(g.volume({true}), std::invalid_argument);
+  const auto g = build_graph(3, {{0, 1}, {1, 2}});
+  Bitset s(3);
+  s.set(0);
+  EXPECT_EQ(g.volume(s), 1u);
+  s.set(1);
+  EXPECT_EQ(g.volume(s), 3u);
+  s.set(2);
+  EXPECT_EQ(g.volume(s), 4u);  // = 2|E|
+  EXPECT_THROW(g.volume(Bitset(1)), std::invalid_argument);
 }
 
-TEST(WeightedGraph, NeighborsSpan) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 4);
-  g.add_edge(0, 2, 6);
+TEST(WeightedGraph, AdjacencySortedByNeighborId) {
+  // Insert edges in scrambled order; neighbors() must come back sorted
+  // by neighbor id regardless.
+  GraphBuilder b(5);
+  b.add_edge(0, 3, 2);
+  b.add_edge(0, 1, 4);
+  b.add_edge(0, 4, 9);
+  b.add_edge(0, 2, 6);
+  const WeightedGraph g = b.build();
   const auto neigh = g.neighbors(0);
-  ASSERT_EQ(neigh.size(), 2u);
-  EXPECT_EQ(neigh[0].to, 1u);
-  EXPECT_EQ(neigh[1].to, 2u);
-  EXPECT_EQ(g.latency(neigh[1].edge), 6);
+  ASSERT_EQ(neigh.size(), 4u);
+  for (std::size_t i = 0; i < neigh.size(); ++i) {
+    EXPECT_EQ(neigh[i].to, i + 1);
+    EXPECT_EQ(g.edge_at(0, i).to, i + 1);
+  }
+  EXPECT_EQ(g.latency(neigh[1].edge), 6);  // edge {0,2}
+  EXPECT_THROW(g.edge_at(0, 4), std::out_of_range);
+}
+
+TEST(WeightedGraph, EdgeIdsPreserveInsertionOrder) {
+  GraphBuilder b(4);
+  const EdgeId e0 = b.add_edge(2, 3, 5);
+  const EdgeId e1 = b.add_edge(0, 1, 6);
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  const WeightedGraph g = b.build();
+  EXPECT_EQ(g.edge(0).u, 2u);
+  EXPECT_EQ(g.edge(0).v, 3u);
+  EXPECT_EQ(g.edge(1).u, 0u);
+  EXPECT_EQ(g.edge(1).v, 1u);
 }
 
 TEST(DirectedGraph, ArcBasics) {
@@ -133,6 +201,18 @@ TEST(DirectedGraph, ToUndirectedCollapsesOppositeArcs) {
   EXPECT_EQ(g.num_edges(), 2u);
   EXPECT_EQ(g.latency(*g.find_edge(0, 1)), 3);
   EXPECT_EQ(g.latency(*g.find_edge(1, 2)), 7);
+}
+
+TEST(DirectedGraph, ToUndirectedCollapsesParallelArcs) {
+  DirectedGraph d(4);
+  d.add_arc(2, 1, 9);
+  d.add_arc(2, 1, 4);  // same direction, duplicate arc
+  d.add_arc(1, 2, 6);
+  d.add_arc(3, 0, 2);
+  const WeightedGraph g = d.to_undirected();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.latency(*g.find_edge(1, 2)), 4);
+  EXPECT_EQ(g.latency(*g.find_edge(0, 3)), 2);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "analysis/distance.h"
 #include "core/latency_discovery.h"
 #include "core/rr_broadcast.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 
@@ -25,9 +26,7 @@ TEST(Discovery, FindsAllLatenciesWithinBudget) {
 }
 
 TEST(Discovery, SlowEdgesRemainUnknown) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 2);
-  g.add_edge(1, 2, 50);
+  const auto g = build_graph(3, {{0, 1, 2}, {1, 2, 50}});
   const DiscoveryOutcome out = discover_latencies(g, 10);
   EXPECT_EQ(out.edges_discovered, 1u);
   EXPECT_TRUE(out.edge_latencies[0].has_value());

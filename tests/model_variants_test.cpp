@@ -8,6 +8,7 @@
 #include "core/flooding.h"
 #include "core/push_pull.h"
 #include "core/rr_broadcast.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -21,8 +22,7 @@ TEST(Blocking, OneOutstandingInitiationEnforced) {
   // A latency-5 edge: in blocking mode a node can launch at most one
   // exchange per 5 rounds, so activations over 20 rounds are <= 4+1 per
   // node instead of 20.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 5);
+  const auto g = build_graph(2, {{0, 1, 5}});
 
   struct Chatty {
     using Payload = int;
@@ -153,8 +153,7 @@ TEST(Blocking, ResponseLossStillUnblocks) {
   // to initiate (the response leg completes the trip even when its
   // content is dropped) — otherwise lossy links deadlock the blocking
   // model.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 2);
+  const auto g = build_graph(2, {{0, 1, 2}});
 
   struct Chatty {
     using Payload = int;
@@ -184,8 +183,7 @@ TEST(Blocking, ResponseLossStillUnblocks) {
 TEST(Blocking, CrashedPeerDoesNotWedgeInitiator) {
   // Node 1 crashes immediately; node 0's round trips are dropped but
   // still unblock; the run must keep making initiations.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 3);
+  const auto g = build_graph(2, {{0, 1, 3}});
   NetworkView view(g, false);
   PushPullBroadcast proto(view, 0, Rng(3));
   SimOptions opts;
@@ -225,8 +223,7 @@ TEST(PayloadBits, RumorSetProtocolsPayPerRumor) {
 }
 
 TEST(PayloadBits, DefaultsToOneBitWithoutHook) {
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(2, {{0, 1, 1}});
   struct NoHook {
     using Payload = int;
     std::optional<NodeId> select_contact(NodeId u, Round r) {

@@ -5,6 +5,7 @@
 
 #include "core/push_only.h"
 #include "core/push_pull.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -53,8 +54,7 @@ TEST(PushOnly, ResponseLegDiscarded) {
   // the response (pull) leg must be ignored, so 0 stays uninformed
   // until 1 pushes to it — but 1 is the only informed node, and *it*
   // pushes, so 0 is informed by 1's own initiation only.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(2, {{0, 1, 1}});
   NetworkView view(g, false);
   PushOnlyBroadcast proto(view, 1, Rng(5));
   SimOptions opts;
@@ -119,8 +119,7 @@ TEST(PushOnly, PipelinedResponsesAllDiscarded) {
   // responses are in flight: every response leg must be discarded
   // individually (regression for overlapping in-flight bookkeeping) —
   // but node 1's own pushes inform node 0.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 4);
+  const auto g = build_graph(2, {{0, 1, 4}});
   NetworkView view(g, false);
   PushOnlyBroadcast proto(view, 1, Rng(11));
   SimOptions opts;
@@ -164,8 +163,7 @@ TEST(PullOnly, UnsolicitedPushesIgnored) {
   // Node 1 informed but silent (pull-only informed nodes don't
   // initiate); node 0 must pull it — deliveries from 1's side never
   // happen spontaneously.
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 3);
+  const auto g = build_graph(2, {{0, 1, 3}});
   NetworkView view(g, false);
   PullOnlyBroadcast proto(view, 1, Rng(5));
   SimOptions opts;

@@ -7,6 +7,7 @@
 #include "core/eid.h"
 #include "core/random_local_broadcast.h"
 #include "core/rr_broadcast.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -50,9 +51,7 @@ TEST(RandomLocalBroadcast, CompletesOnWeightedGraphs) {
 }
 
 TEST(RandomLocalBroadcast, EllCapRespected) {
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 10);
+  const auto g = build_graph(3, {{0, 1, 1}, {1, 2, 10}});
   const RlbRun run = run_rlb(g, 1, 7);
   ASSERT_TRUE(run.sim.completed);
   EXPECT_TRUE(run.rumors[0].test(1));

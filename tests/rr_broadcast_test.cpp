@@ -5,6 +5,7 @@
 #include "analysis/distance.h"
 #include "core/rr_broadcast.h"
 #include "core/spanner.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 #include "sim/engine.h"
@@ -70,9 +71,7 @@ TEST(RRBroadcast, BudgetMatchesLemma15Formula) {
 
 TEST(RRBroadcast, ArcsAboveKIgnored) {
   // A latency-10 edge must not be used at k = 2.
-  WeightedGraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 10);
+  const auto g = build_graph(3, {{0, 1, 1}, {1, 2, 10}});
   const RrRun run = run_rr(g, full_overlay(g), 2);
   EXPECT_TRUE(run.rumors[0].test(1));
   EXPECT_FALSE(run.rumors[2].test(0));

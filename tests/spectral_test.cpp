@@ -4,6 +4,7 @@
 
 #include "analysis/conductance.h"
 #include "analysis/spectral.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 
@@ -100,8 +101,7 @@ TEST(Sweep, ValidatesInput) {
   Rng rng(1);
   EXPECT_THROW(weight_ell_conductance_sweep(g, 1, 0, rng),
                std::invalid_argument);
-  WeightedGraph isolated(3);
-  isolated.add_edge(0, 1, 1);
+  const auto isolated = build_graph(3, {{0, 1, 1}});
   EXPECT_THROW(weight_ell_conductance_sweep(isolated, 1, 10, rng),
                std::invalid_argument);
 }

@@ -5,6 +5,7 @@
 #include "analysis/distance.h"
 #include "core/rr_broadcast.h"
 #include "core/tk_schedule.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
 
@@ -64,10 +65,7 @@ TEST(TkSchedule, SolvesAllToAllWithKAtLeastDiameter) {
 
 TEST(TkSchedule, HeavyMiddleEdgePath) {
   // Case 2a/2b of Lemma 24: a single edge of latency in (k/2, k].
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 7);
-  g.add_edge(2, 3, 1);
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 7}, {2, 3, 1}});
   const TkOutcome out = run_tk_schedule(g, 16, own_id_rumors(4));
   EXPECT_TRUE(out.all_to_all);
 }
@@ -76,10 +74,7 @@ TEST(TkSchedule, SmallKStoppedByHeavyBridge) {
   // Lemma 24 guarantees distance <= k pairs exchange; beyond that DTG
   // may relay transitively on fast edges, so the only hard barrier for
   // a small k is an edge slower than k.
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 9);
-  g.add_edge(2, 3, 1);
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 9}, {2, 3, 1}});
   const TkOutcome out = run_tk_schedule(g, 4, own_id_rumors(4));
   EXPECT_FALSE(out.all_to_all);
   EXPECT_FALSE(out.rumors[0].test(2));  // behind the bridge
@@ -114,10 +109,7 @@ TEST(PathDiscovery, ConvergesOnWeightedGraphs) {
 TEST(PathDiscovery, HeavyBridgeForcesEstimateUpToLatency) {
   // Transitive DTG relays can finish unit graphs at tiny estimates, but
   // an edge of latency 12 is a hard barrier until k >= 12.
-  WeightedGraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 12);
-  g.add_edge(2, 3, 1);
+  const auto g = build_graph(4, {{0, 1, 1}, {1, 2, 12}, {2, 3, 1}});
   const PathDiscoveryOutcome out = run_path_discovery(g);
   ASSERT_TRUE(out.success);
   EXPECT_TRUE(all_sets_full(out.rumors));

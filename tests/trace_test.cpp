@@ -36,9 +36,10 @@ TEST(Trace, ChainsExistingObserver) {
 }
 
 TEST(Trace, PerRoundAndPerEdgeCounts) {
-  WeightedGraph g(3);
-  const EdgeId e01 = g.add_edge(0, 1, 1);
-  const EdgeId e12 = g.add_edge(1, 2, 1);
+  GraphBuilder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 1);
+  const WeightedGraph g = b.build();
 
   struct TwoShots {
     using Payload = int;
@@ -68,8 +69,7 @@ TEST(Trace, PerRoundAndPerEdgeCounts) {
 
 TEST(Trace, CsvFormat) {
   SimTrace trace;
-  WeightedGraph g(2);
-  g.add_edge(0, 1, 1);
+  const auto g = build_graph(2, {{0, 1, 1}});
   struct OneShot {
     using Payload = int;
     std::optional<NodeId> select_contact(NodeId u, Round r) {
