@@ -26,6 +26,8 @@
 #include "core/push_pull.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/parallel.h"
 #include "util/args.h"
@@ -107,6 +109,7 @@ int write_json(const std::string& out, const char* bench,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n", bench);
+  std::fprintf(f, "  \"build\": %s,\n", build_info_json().c_str());
   std::fprintf(f, "  \"workload\": \"%s\",\n", workload);
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"baseline_pre_pr_ns\": {\n");
@@ -250,6 +253,31 @@ int main(int argc, char** argv) {
                            opts.on_activation =
                                [&](NodeId, NodeId, EdgeId, Round) { ++sink; };
                            (void)run_gossip(g, proto, opts);
+                         },
+                         repeats)});
+  }
+
+  {
+    // Full recording attached, recorder reused across runs (clear()
+    // keeps storage — the per-thread steady state of run_trials and the
+    // CLI). This is the recording-overhead number the observability
+    // work bounds at <= 25% of plain.
+    const WeightedGraph g = bench_graph(4096);
+    std::uint64_t seed = 0;
+    EventRecorder recorder;
+    cases.push_back({"pushpull_broadcast_4096_recorded",
+                     measure_ns(
+                         [&] {
+                           recorder.clear();
+                           NetworkView view(g, false);
+                           PushPullBroadcast proto(view, 0, Rng(++seed));
+                           SimOptions opts;
+                           opts.max_rounds = 1'000'000;
+                           opts.recorder = &recorder;
+                           SimResult r = run_gossip(g, proto, opts);
+                           r.fingerprint = recorder.fingerprint();
+                           volatile auto fp = r.fingerprint;
+                           (void)fp;
                          },
                          repeats)});
   }

@@ -7,6 +7,7 @@
 #include "core/random_local_broadcast.h"
 #include "core/rr_broadcast.h"
 #include "core/termination.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace latgossip {
@@ -43,48 +44,68 @@ EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
   EidOutcome out;
   out.rumors = std::move(initial_rumors);
 
+  EventRecorder* recorder = options.obs ? options.obs->recorder : nullptr;
+
   // Phase 1: O(log n) executions of D-local-broadcast (neighborhood
   // discovery) — deterministic DTG by default, the randomized
   // subroutine under the ablation flag.
-  for (std::size_t i = 0; i < reps; ++i) {
-    SimOptions opts;
-    // Both subroutines act only on superround boundaries (every d
-    // rounds), so the engine's idle-stop must not fire in between.
-    opts.stop_when_idle = false;
-    opts.max_rounds = static_cast<Round>(d) * 64 *
-                      static_cast<Round>(ceil_log2(n) * ceil_log2(n) + 4);
-    if (options.randomized_local_broadcast) {
-      RandomLocalBroadcast rlb(view, d, std::move(out.rumors),
-                               rng.fork(1000 + i));
-      out.sim.accumulate(run_gossip(g, rlb, opts));
-      out.rumors = rlb.take_rumors();
-    } else {
-      DtgLocalBroadcast dtg(view, d, std::move(out.rumors));
-      out.sim.accumulate(run_gossip(g, dtg, opts));
-      out.rumors = dtg.take_rumors();
+  {
+    PhaseScope phase(options.obs, "eid/local_broadcast");
+    for (std::size_t i = 0; i < reps; ++i) {
+      SimOptions opts;
+      // Both subroutines act only on superround boundaries (every d
+      // rounds), so the engine's idle-stop must not fire in between.
+      opts.stop_when_idle = false;
+      opts.max_rounds = static_cast<Round>(d) * 64 *
+                        static_cast<Round>(ceil_log2(n) * ceil_log2(n) + 4);
+      opts.recorder = recorder;
+      SimResult sim;
+      if (options.randomized_local_broadcast) {
+        RandomLocalBroadcast rlb(view, d, std::move(out.rumors),
+                                 rng.fork(1000 + i));
+        sim = run_gossip(g, rlb, opts);
+        out.rumors = rlb.take_rumors();
+      } else {
+        DtgLocalBroadcast dtg(view, d, std::move(out.rumors));
+        sim = run_gossip(g, dtg, opts);
+        out.rumors = dtg.take_rumors();
+      }
+      phase.add(sim);
+      out.sim.accumulate(sim);
     }
   }
 
-  // Phase 2: local spanner computation on G_D (zero simulated rounds).
-  out.spanner = build_baswana_sen_spanner_capped(
-      g, d, SpannerOptions{spanner_k, n_hat}, rng);
+  // Phase 2: local spanner computation on G_D (zero simulated rounds;
+  // the scope still marks the boundary in the trace).
+  {
+    PhaseScope phase(options.obs, "eid/spanner");
+    out.spanner = build_baswana_sen_spanner_capped(
+        g, d, SpannerOptions{spanner_k, n_hat}, rng);
+  }
 
   // Phase 3: RR Broadcast with parameter (2k-1)*D — the spanner's
   // stretch bound times the distance estimate.
-  const Latency rr_k =
-      d * static_cast<Latency>(2 * spanner_k > 1 ? 2 * spanner_k - 1 : 1);
-  RRBroadcast rr(view, out.spanner, rr_k, std::move(out.rumors));
-  SimOptions rr_opts;
-  rr_opts.max_rounds = rr.budget() + rr_k + 2;
-  out.sim.accumulate(run_gossip(g, rr, rr_opts));
-  out.rumors = rr.take_rumors();
+  {
+    PhaseScope phase(options.obs, "eid/rr_broadcast");
+    const Latency rr_k =
+        d * static_cast<Latency>(2 * spanner_k > 1 ? 2 * spanner_k - 1 : 1);
+    RRBroadcast rr(view, out.spanner, rr_k, std::move(out.rumors));
+    SimOptions rr_opts;
+    rr_opts.max_rounds = rr.budget() + rr_k + 2;
+    rr_opts.recorder = recorder;
+    const SimResult sim = run_gossip(g, rr, rr_opts);
+    phase.add(sim);
+    out.sim.accumulate(sim);
+    out.rumors = rr.take_rumors();
+  }
 
   out.all_to_all = all_sets_full(out.rumors);
   return out;
 }
 
 GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
-                                  Rng& rng, Latency initial_guess) {
+                                  Rng& rng, Latency initial_guess,
+                                  ObsContext* obs) {
   const std::size_t n = g.num_nodes();
   if (initial_guess < 1)
     throw std::invalid_argument("General EID: initial guess must be >= 1");
@@ -107,21 +128,25 @@ GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
     EidOptions options;
     options.diameter_estimate = k;
     options.n_hat = n_hat;
+    options.obs = obs;
     EidOutcome attempt = run_eid(g, options, std::move(out.rumors), rng);
     out.sim.accumulate(attempt.sim);
     out.rumors = std::move(attempt.rumors);
 
     // Termination Check broadcast primitive: RR Broadcast with fresh
     // own-id rumors on this attempt's spanner (Section 5.3).
+    PhaseScope check_phase(obs, "eid/termination_check");
     const DirectedGraph& spanner = attempt.spanner;
     auto broadcast = [&]() {
       RRBroadcast rr(view, spanner, k, own_id_rumors(n));
       SimOptions opts;
       opts.max_rounds = rr.budget() + k + 2;
+      if (obs) opts.recorder = obs->recorder;
       SimResult sim = run_gossip(g, rr, opts);
       return std::make_pair(rr.take_rumors(), sim);
     };
     const CheckOutcome check = run_termination_check(g, out.rumors, broadcast);
+    check_phase.add(check.sim);
     out.sim.accumulate(check.sim);
     if (!check.unanimous) out.checks_unanimous = false;
     if (!check.failed) {

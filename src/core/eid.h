@@ -28,6 +28,8 @@
 
 namespace latgossip {
 
+struct ObsContext;  // obs/metrics.h
+
 struct EidOptions {
   Latency diameter_estimate = 0;  ///< D (required, >= 1)
   std::size_t n_hat = 0;          ///< size estimate; 0 = exact n
@@ -37,6 +39,13 @@ struct EidOptions {
   /// discovery phase instead of deterministic DTG (Section 5.1 lists
   /// both as viable; the paper builds on DTG).
   bool randomized_local_broadcast = false;
+  /// Optional observability sinks (obs/metrics.h). Phases tagged:
+  /// "eid/local_broadcast" (the O(log n) DTG discovery executions),
+  /// "eid/spanner" (local computation, zero simulated rounds), and
+  /// "eid/rr_broadcast" — the split Theorem 19's O(D log^3 n)
+  /// accounting needs. The recorder (if any) is wired into every
+  /// internal run_gossip().
+  ObsContext* obs = nullptr;
 };
 
 struct EidOutcome {
@@ -61,7 +70,10 @@ struct GeneralEidOutcome {
 };
 
 /// Guess-and-double EID with the Termination Check (Algorithm 4).
+/// `obs` (optional) threads through every EID attempt and additionally
+/// tags "eid/termination_check".
 GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
-                                  Rng& rng, Latency initial_guess = 1);
+                                  Rng& rng, Latency initial_guess = 1,
+                                  ObsContext* obs = nullptr);
 
 }  // namespace latgossip

@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include <string>
+
 #include "core/dtg.h"
 #include "core/rr_broadcast.h"
 #include "core/termination.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace latgossip {
@@ -40,9 +43,12 @@ std::size_t ceil_log2(std::size_t x) {
   return k < 1 ? 1 : k;
 }
 
-/// Run one ℓ-DTG pass over persistent rumor sets.
+/// Run one ℓ-DTG pass over persistent rumor sets, tagged as phase
+/// "tk/dtg_ell_<ℓ>" (one phase per recursion level; repeated passes at
+/// the same ℓ accumulate into the same phase entry).
 SimResult dtg_pass(const WeightedGraph& g, Latency ell,
-                   std::vector<Bitset>& rumors) {
+                   std::vector<Bitset>& rumors, ObsContext* obs) {
+  PhaseScope phase(obs, "tk/dtg_ell_" + std::to_string(ell));
   NetworkView view(g, /*latencies_known=*/true);
   DtgLocalBroadcast dtg(view, ell, std::move(rumors));
   SimOptions opts;
@@ -50,7 +56,9 @@ SimResult dtg_pass(const WeightedGraph& g, Latency ell,
   opts.stop_when_idle = false;
   const auto logn = static_cast<Round>(ceil_log2(g.num_nodes()) + 2);
   opts.max_rounds = static_cast<Round>(ell) * 64 * logn * logn;
+  if (obs) opts.recorder = obs->recorder;
   const SimResult sim = run_gossip(g, dtg, opts);
+  phase.add(sim);
   rumors = dtg.take_rumors();
   return sim;
 }
@@ -58,19 +66,21 @@ SimResult dtg_pass(const WeightedGraph& g, Latency ell,
 }  // namespace
 
 TkOutcome run_tk_schedule(const WeightedGraph& g, Latency k,
-                          std::vector<Bitset> initial_rumors) {
+                          std::vector<Bitset> initial_rumors,
+                          ObsContext* obs) {
   const std::size_t n = g.num_nodes();
   if (initial_rumors.size() != n)
     throw std::invalid_argument("T(k): rumor vector size mismatch");
   TkOutcome out;
   out.rumors = std::move(initial_rumors);
   for (Latency ell : tk_pattern(next_power_of_two(k)))
-    out.sim.accumulate(dtg_pass(g, ell, out.rumors));
+    out.sim.accumulate(dtg_pass(g, ell, out.rumors, obs));
   out.all_to_all = all_sets_full(out.rumors);
   return out;
 }
 
-PathDiscoveryOutcome run_path_discovery(const WeightedGraph& g) {
+PathDiscoveryOutcome run_path_discovery(const WeightedGraph& g,
+                                        ObsContext* obs) {
   const std::size_t n = g.num_nodes();
   PathDiscoveryOutcome out;
   out.rumors = own_id_rumors(n);
@@ -84,13 +94,16 @@ PathDiscoveryOutcome run_path_discovery(const WeightedGraph& g) {
 
   for (Latency k = 1; k <= k_limit; k *= 2) {
     ++out.attempts;
-    TkOutcome attempt = run_tk_schedule(g, k, std::move(out.rumors));
+    TkOutcome attempt = run_tk_schedule(g, k, std::move(out.rumors), obs);
     out.sim.accumulate(attempt.sim);
     out.rumors = std::move(attempt.rumors);
 
-    // Termination Check with T(k) as the broadcast primitive.
+    // Termination Check with T(k) as the broadcast primitive. The check
+    // phase brackets the whole broadcast pass; the pass's own dtg_ell
+    // phases still account the rounds (the scope is a trace marker).
+    PhaseScope check_phase(obs, "tk/termination_check");
     auto broadcast = [&]() {
-      TkOutcome pass = run_tk_schedule(g, k, own_id_rumors(n));
+      TkOutcome pass = run_tk_schedule(g, k, own_id_rumors(n), obs);
       return std::make_pair(std::move(pass.rumors), pass.sim);
     };
     const CheckOutcome check = run_termination_check(g, out.rumors, broadcast);

@@ -19,6 +19,8 @@
 
 namespace latgossip {
 
+struct ObsContext;  // obs/metrics.h
+
 /// The sequence of ℓ parameters of T(k). `k` must be a power of two.
 std::vector<Latency> tk_pattern(Latency k);
 
@@ -32,9 +34,14 @@ struct TkOutcome {
 };
 
 /// Execute the schedule T(k) (k rounded up to a power of two) starting
-/// from `initial_rumors`. Requires the known-latency model.
+/// from `initial_rumors`. Requires the known-latency model. `obs`
+/// (optional, obs/metrics.h) tags each ℓ-DTG pass as phase
+/// "tk/dtg_ell_<ℓ>" — the recursion-level split behind Lemma 25's
+/// O(D log^2 n log D) accounting — and wires the recorder into every
+/// pass.
 TkOutcome run_tk_schedule(const WeightedGraph& g, Latency k,
-                          std::vector<Bitset> initial_rumors);
+                          std::vector<Bitset> initial_rumors,
+                          ObsContext* obs = nullptr);
 
 struct PathDiscoveryOutcome {
   SimResult sim;
@@ -46,7 +53,9 @@ struct PathDiscoveryOutcome {
 };
 
 /// Path Discovery (Algorithm 6): guess-and-double over T(k) with the
-/// Termination Check, broadcast primitive = another T(k) pass.
-PathDiscoveryOutcome run_path_discovery(const WeightedGraph& g);
+/// Termination Check, broadcast primitive = another T(k) pass. `obs`
+/// additionally tags "tk/termination_check".
+PathDiscoveryOutcome run_path_discovery(const WeightedGraph& g,
+                                        ObsContext* obs = nullptr);
 
 }  // namespace latgossip

@@ -14,6 +14,8 @@
 
 namespace latgossip {
 
+struct ObsContext;  // obs/metrics.h
+
 enum class UnifiedWinner { kPushPull, kSpanner };
 
 struct UnifiedOutcome {
@@ -30,6 +32,10 @@ struct UnifiedOptions {
   bool latencies_known = false;
   std::size_t n_hat = 0;          ///< 0 = exact n
   Round push_pull_cap = 2'000'000; ///< give-up bound for the push-pull run
+  /// Optional observability sinks (obs/metrics.h): the push-pull and
+  /// spanner branches are tagged as phases "unified/push_pull" and
+  /// "unified/spanner", with EID's internal phases nested under them.
+  ObsContext* obs = nullptr;
 };
 
 /// All-to-all information dissemination via both branches.

@@ -27,6 +27,12 @@
 #include "analysis/spanner_check.h"
 #include "analysis/spectral.h"
 
+// Observability
+#include "obs/export.h"
+#include "obs/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
 // Simulator
 #include "sim/engine.h"
 #include "sim/faults.h"

@@ -1,0 +1,295 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace latgossip {
+
+#ifndef LATGOSSIP_GIT_HASH
+#define LATGOSSIP_GIT_HASH "unknown"
+#endif
+#ifndef LATGOSSIP_COMPILER
+#define LATGOSSIP_COMPILER "unknown"
+#endif
+#ifndef LATGOSSIP_BUILD_TYPE
+#define LATGOSSIP_BUILD_TYPE "unknown"
+#endif
+#ifndef LATGOSSIP_BUILD_FLAGS
+#define LATGOSSIP_BUILD_FLAGS ""
+#endif
+
+BuildInfo build_info() {
+  return BuildInfo{LATGOSSIP_GIT_HASH, LATGOSSIP_COMPILER,
+                   LATGOSSIP_BUILD_TYPE, LATGOSSIP_BUILD_FLAGS};
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string build_info_json() {
+  const BuildInfo b = build_info();
+  std::string out = "{\"git\":\"";
+  out += json_escape(b.git_hash);
+  out += "\",\"compiler\":\"";
+  out += json_escape(b.compiler);
+  out += "\",\"build_type\":\"";
+  out += json_escape(b.build_type);
+  out += "\",\"flags\":\"";
+  out += json_escape(b.flags);
+  out += "\"}";
+  return out;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const EventRecorder& rec) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const Event& e : rec.events()) {
+    switch (e.kind()) {
+      case EventKind::kActivation:
+        sep();
+        out += "{\"name\":\"activate\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+               "\"tid\":";
+        append_u64(out, e.a());
+        out += ",\"ts\":";
+        append_i64(out, e.round());
+        out += ",\"args\":{\"peer\":";
+        append_u64(out, e.b());
+        out += ",\"edge\":";
+        append_u64(out, e.edge());
+        out += "}}";
+        break;
+      case EventKind::kDelivery:
+      case EventKind::kDrop:
+      case EventKind::kCrashDrop: {
+        sep();
+        const char* name = e.kind() == EventKind::kDelivery ? "deliver"
+                           : e.kind() == EventKind::kDrop   ? "drop"
+                                                          : "crash_drop";
+        out += "{\"name\":\"";
+        out += name;
+        out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        append_u64(out, e.a());
+        out += ",\"ts\":";
+        append_i64(out, e.start());
+        out += ",\"dur\":";
+        append_i64(out, e.round() - e.start());
+        out += ",\"args\":{\"from\":";
+        append_u64(out, e.b());
+        out += ",\"edge\":";
+        append_u64(out, e.edge());
+        out += "}}";
+        break;
+      }
+      case EventKind::kPhaseBegin:
+      case EventKind::kPhaseEnd:
+        sep();
+        out += "{\"name\":\"";
+        out += json_escape(rec.phase_name(e.a()));
+        out += e.kind() == EventKind::kPhaseBegin ? "\",\"ph\":\"B\""
+                                                : "\",\"ph\":\"E\"";
+        out += ",\"pid\":0,\"tid\":0,\"ts\":";
+        append_i64(out, e.round());
+        out += '}';
+        break;
+    }
+  }
+  // Name the process/track rows so Perfetto renders something readable.
+  sep();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+         "\"args\":{\"name\":\"phases\"}}";
+  out += ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"nodes\"}}";
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string activations_to_csv(const EventRecorder& rec) {
+  std::string out = "round,initiator,responder,edge\n";
+  for (const Event& e : rec.events()) {
+    if (e.kind() != EventKind::kActivation) continue;
+    out += std::to_string(e.round());
+    out += ',';
+    out += std::to_string(e.a());
+    out += ',';
+    out += std::to_string(e.b());
+    out += ',';
+    out += std::to_string(e.edge());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string metrics_json(const MetricsRegistry& metrics) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : metrics.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    append_u64(out, c.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"sum\":";
+    append_u64(out, h.sum());
+    out += ",\"max\":";
+    append_u64(out, h.max());
+    out += ",\"buckets\":{";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += '"';
+      append_u64(out, Histogram::bucket_lo(b));
+      out += "\":";
+      append_u64(out, h.bucket(b));
+    }
+    out += "}}";
+  }
+  out += "},\"phases\":{";
+  first = true;
+  for (const auto& [name, p] : metrics.phases()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"rounds\":";
+    append_i64(out, p.rounds);
+    out += ",\"activations\":";
+    append_u64(out, p.activations);
+    out += ",\"messages_delivered\":";
+    append_u64(out, p.messages_delivered);
+    out += ",\"messages_dropped\":";
+    append_u64(out, p.messages_dropped);
+    out += ",\"exchanges_rejected\":";
+    append_u64(out, p.exchanges_rejected);
+    out += ",\"payload_bits\":";
+    append_u64(out, p.payload_bits);
+    out += ",\"entries\":";
+    append_u64(out, p.entries);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string manifest_record(const RunInfo& info, std::size_t trial,
+                            std::uint64_t trial_seed, const SimResult& result,
+                            double wall_ms,
+                            const std::string& metrics_json_snapshot) {
+  std::string out = "{\"schema\":\"latgossip.run.v1\",\"build\":";
+  out += build_info_json();
+  out += ",\"tool\":\"";
+  out += json_escape(info.tool);
+  out += "\",\"protocol\":\"";
+  out += json_escape(info.protocol);
+  out += "\",\"graph\":{\"source\":\"";
+  out += json_escape(info.graph_source);
+  out += "\",\"params\":\"";
+  out += json_escape(info.graph_params);
+  out += "\",\"nodes\":";
+  append_u64(out, info.nodes);
+  out += ",\"edges\":";
+  append_u64(out, info.edges);
+  out += "},\"seed\":";
+  append_u64(out, info.seed);
+  out += ",\"threads\":";
+  append_u64(out, info.threads);
+  out += ",\"trial\":";
+  append_u64(out, trial);
+  out += ",\"trial_seed\":";
+  append_u64(out, trial_seed);
+  out += ",\"result\":{\"rounds\":";
+  append_i64(out, result.rounds);
+  out += ",\"completed\":";
+  out += result.completed ? "true" : "false";
+  out += ",\"activations\":";
+  append_u64(out, result.activations);
+  out += ",\"messages_delivered\":";
+  append_u64(out, result.messages_delivered);
+  out += ",\"messages_dropped\":";
+  append_u64(out, result.messages_dropped);
+  out += ",\"exchanges_rejected\":";
+  append_u64(out, result.exchanges_rejected);
+  out += ",\"payload_bits\":";
+  append_u64(out, result.payload_bits);
+  out += ",\"max_inflight\":";
+  append_u64(out, result.max_inflight);
+  out += ",\"fingerprint\":\"";
+  {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, result.fingerprint);
+    out += buf;
+  }
+  out += "\"},\"wall_ms\":";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", wall_ms);
+    out += buf;
+  }
+  if (!metrics_json_snapshot.empty()) {
+    out += ",\"metrics\":";
+    out += metrics_json_snapshot;
+  }
+  out += '}';
+  return out;
+}
+
+bool append_jsonl(const std::string& path, const std::string& line) {
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs(line.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace latgossip

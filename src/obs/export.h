@@ -1,0 +1,87 @@
+#pragma once
+// Serialization for the observability layer: Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing), the legacy activation CSV,
+// and JSONL run manifests.
+//
+// A run manifest is one JSON object per line answering "which binary,
+// seed, and graph produced this number": build provenance (git hash,
+// compiler, flags), the run configuration (tool, protocol, graph
+// generator + params, seed, threads), the per-trial SimResult including
+// the event-stream fingerprint, the metrics snapshot (counters,
+// histograms, per-phase stats), and wall time. `latgossip run
+// --manifest=FILE`, run_trials() (via ManifestSpec), and bench/run_bench
+// all emit the same schema — see DESIGN.md §5e for the field list.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "sim/metrics.h"
+
+namespace latgossip {
+
+/// Compile-time build provenance, stamped by src/obs/CMakeLists.txt.
+struct BuildInfo {
+  const char* git_hash;    ///< short hash, or "unknown" outside a checkout
+  const char* compiler;    ///< id + version
+  const char* build_type;  ///< CMAKE_BUILD_TYPE
+  const char* flags;       ///< effective CXX flags
+};
+BuildInfo build_info();
+
+/// JSON object literal with the BuildInfo fields (no trailing newline);
+/// embedded by manifests and by run_bench's BENCH_*.json headers.
+std::string build_info_json();
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+// --- event stream exports ---------------------------------------------
+
+/// Chrome trace-event JSON: {"traceEvents": [...]}. Rounds map 1:1 to
+/// microsecond timestamps. Deliveries/drops render as complete ("X")
+/// events on the receiving node's track spanning [start, completion];
+/// activations as instant ("i") events on the initiator's track; phase
+/// boundaries as duration ("B"/"E") events on a dedicated phases track
+/// timestamped with the metrics virtual clock.
+std::string to_chrome_trace_json(const EventRecorder& rec);
+
+/// Legacy CSV of activation events: "round,initiator,responder,edge"
+/// header + one line per activation (byte-compatible with the old
+/// SimTrace::to_csv()).
+std::string activations_to_csv(const EventRecorder& rec);
+
+// --- metrics snapshot -------------------------------------------------
+
+/// JSON object with "counters", "histograms" (non-empty log2 buckets as
+/// {"lo": count}), and "phases" (per-phase rounds/messages/bits).
+std::string metrics_json(const MetricsRegistry& metrics);
+
+// --- run manifests ----------------------------------------------------
+
+/// Static context shared by every trial of one batch.
+struct RunInfo {
+  std::string tool;          ///< e.g. "latgossip run", "run_bench"
+  std::string protocol;      ///< e.g. "pushpull", "eid"
+  std::string graph_source;  ///< generator family or input file
+  std::string graph_params;  ///< free-form "n=128,p=0.1"
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint64_t seed = 0;   ///< batch seed
+  std::size_t threads = 0;  ///< requested worker threads (0 = hardware)
+};
+
+/// One JSONL manifest record (single line, no trailing newline).
+/// `metrics_json_snapshot` is an already-serialized metrics object (use
+/// metrics_json()), or empty to omit the field.
+std::string manifest_record(const RunInfo& info, std::size_t trial,
+                            std::uint64_t trial_seed, const SimResult& result,
+                            double wall_ms,
+                            const std::string& metrics_json_snapshot);
+
+/// Append `line` + '\n' to `path` (creating it if needed). Returns
+/// false on I/O failure.
+bool append_jsonl(const std::string& path, const std::string& line);
+
+}  // namespace latgossip

@@ -1,0 +1,93 @@
+#pragma once
+// Order-insensitive 64-bit digests of simulation event streams.
+//
+// A Fingerprint summarizes a *multiset* of events: each event is hashed
+// to 64 bits and folded into three commutative accumulators (wrapping
+// sum, xor, count), so the digest does not depend on the order in which
+// events were recorded — only on which events occurred. That makes the
+// digest stable under any benign reordering (e.g. a future parallel
+// engine delivering within-round events out of order) while still
+// catching any semantic change: a different contact choice, a different
+// delivery round, a dropped message.
+//
+// Uses:
+//  * run_trials() folds per-trial digests into TrialAggregate::
+//    fingerprint, so determinism across --threads is checked at event
+//    granularity, not just at the SimResult level;
+//  * tests pin golden digests for seeded runs of push-pull, EID, and
+//    T(k) as a semantic-regression net (tests/obs_test.cpp).
+//
+// The digest is a pure function of deterministic integer event fields,
+// so it is reproducible across platforms and compilers.
+
+#include <cstdint>
+
+namespace latgossip {
+
+/// One splitmix64-style finalization step (stateless).
+constexpr std::uint64_t fp_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash an event packed into three 64-bit words (see EventRecorder for
+/// the packing). The three input multiplies are independent (they
+/// pipeline), and the shared fp_mix finalizer supplies the avalanche —
+/// 5 multiplies total, which keeps the recorder's digest pass cheap
+/// enough for the recording-overhead budget. The combine is linear in
+/// (a, b, c) before the mix, so a pairwise collision needs a field
+/// delta solving da*M1 + db*M2 + dc*M3 ≡ 0 (mod 2^64) — unreachable
+/// for the small structured field values events carry — and the
+/// nonlinear finalizer stops the commutative sum/xor fold below from
+/// collapsing related streams.
+constexpr std::uint64_t fp_hash3(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c) noexcept {
+  return fp_mix(a * 0x9e3779b97f4a7c15ULL + b * 0xff51afd7ed558ccdULL +
+                c * 0xc4ceb9fe1a85ec53ULL);
+}
+
+/// Commutative digest accumulator over hashed events.
+class Fingerprint {
+ public:
+  /// Fold one event hash in; commutative and associative.
+  void add(std::uint64_t event_hash) noexcept {
+    sum_ += event_hash;
+    xor_ ^= event_hash;
+    ++count_;
+  }
+
+  /// Fold another fingerprint's events in (multiset union).
+  void merge(const Fingerprint& other) noexcept {
+    sum_ += other.sum_;
+    xor_ ^= other.xor_;
+    count_ += other.count_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// The 64-bit digest. Mixes all three accumulators so that neither a
+  /// sum collision nor an xor collision alone goes unnoticed.
+  std::uint64_t digest() const noexcept {
+    return fp_hash3(sum_, xor_, count_);
+  }
+
+  void reset() noexcept { sum_ = 0; xor_ = 0; count_ = 0; }
+
+  bool operator==(const Fingerprint&) const = default;
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t xor_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Commutative combination of finished digests (used by run_trials to
+/// aggregate per-trial digests; trial order never affects the result).
+constexpr std::uint64_t fingerprint_merge_digests(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  return a + b;  // wrapping add: commutative, associative
+}
+
+}  // namespace latgossip

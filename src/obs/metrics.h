@@ -1,0 +1,242 @@
+#pragma once
+// Named metrics registry + protocol phase attribution.
+//
+// A MetricsRegistry holds named monotonic counters and log2-bucket
+// histograms, plus per-phase simulation accounting. Protocols tag their
+// phases with a PhaseScope RAII guard:
+//
+//   PhaseScope phase(obs, "eid/local_broadcast");
+//   const SimResult sim = run_gossip(g, proto, opts);
+//   phase.add(sim);   // rounds/messages/bits attributed to this phase
+//
+// Multi-phase protocols restart engine rounds at 0 in every phase, so
+// the registry keeps a cumulative *virtual clock* — the sum of all
+// rounds added through scopes — which is what phase boundaries are
+// stamped with (and what the Chrome trace export uses as timestamps).
+//
+// ObsContext bundles the two observability sinks (event recorder +
+// metrics registry) so protocol entry points take a single optional
+// pointer. Both members are optional; a null ObsContext* is a no-op
+// everywhere. Like the recorder, a registry is not thread-safe: use one
+// per trial.
+//
+// Phase accounting answers the paper's per-phase questions directly:
+// Theorem 19/20's O(D log^3 n) EID cost splits into discovery /
+// spanner / broadcast phases, and per-phase payload_bits mirrors the
+// small-message budgets of Dufoulon et al. (see PAPERS.md).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/recorder.h"
+#include "sim/metrics.h"
+
+namespace latgossip {
+
+/// Monotonic named counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Log2-bucket histogram for nonnegative integer samples. Bucket 0
+/// counts exact zeros; bucket b >= 1 counts values in [2^(b-1), 2^b).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) noexcept {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : static_cast<std::size_t>(64 - std::countl_zero(v));
+  }
+  /// Inclusive lower bound of bucket b.
+  static std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  std::uint64_t bucket(std::size_t b) const noexcept { return buckets_[b]; }
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Simulation cost attributed to one named protocol phase.
+struct PhaseStats {
+  Round rounds = 0;
+  std::size_t activations = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t exchanges_rejected = 0;
+  std::size_t payload_bits = 0;
+  std::size_t entries = 0;  ///< times a PhaseScope opened this phase
+
+  void add(const SimResult& sim) noexcept {
+    rounds += sim.rounds;
+    activations += sim.activations;
+    messages_delivered += sim.messages_delivered;
+    messages_dropped += sim.messages_dropped;
+    exchanges_rejected += sim.exchanges_rejected;
+    payload_bits += sim.payload_bits;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; references stay valid for the registry's lifetime
+  /// (std::map nodes are stable).
+  Counter& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+  Histogram& histogram(std::string_view name) {
+    return histograms_[std::string(name)];
+  }
+  PhaseStats& phase(std::string_view name) {
+    return phases_[std::string(name)];
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, PhaseStats>& phases() const { return phases_; }
+
+  /// Cumulative simulated rounds across every PhaseScope::add(); the
+  /// virtual timeline phase boundaries and trace exports live on.
+  Round clock() const noexcept { return clock_; }
+  void advance_clock(Round delta) noexcept { clock_ += delta; }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+    phases_.clear();
+    clock_ = 0;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, PhaseStats> phases_;
+  Round clock_ = 0;
+};
+
+/// The two observability sinks, both optional. Protocol entry points
+/// accept `ObsContext* obs = nullptr`; a null pointer (or null members)
+/// disables that sink with no per-event cost — in particular, a null
+/// recorder keeps run_gossip() on the compile-time NoHooks fast path.
+struct ObsContext {
+  EventRecorder* recorder = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// RAII phase guard. Opens the phase on construction (stamping the
+/// registry's virtual clock into the recorder), attributes SimResults
+/// via add(), and closes the phase on destruction. Null-safe: a null or
+/// empty ObsContext makes every operation a no-op.
+class PhaseScope {
+ public:
+  PhaseScope(ObsContext* obs, std::string_view name)
+      : recorder_(obs ? obs->recorder : nullptr),
+        metrics_(obs ? obs->metrics : nullptr),
+        name_(name) {
+    if (metrics_) ++metrics_->phase(name_).entries;
+    if (recorder_) record_boundary(/*begin=*/true);
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() {
+    if (recorder_) record_boundary(/*begin=*/false);
+  }
+
+  /// Attribute one simulation run to this phase and advance the
+  /// registry's virtual clock by its rounds.
+  void add(const SimResult& sim) {
+    if (!metrics_) return;
+    metrics_->phase(name_).add(sim);
+    metrics_->advance_clock(sim.rounds);
+  }
+
+ private:
+  void record_boundary(bool begin) {
+    const Round clock = metrics_ ? metrics_->clock() : 0;
+    if (begin)
+      recorder_->record_phase_begin(name_, clock);
+    else
+      recorder_->record_phase_end(name_, clock);
+  }
+
+  EventRecorder* recorder_;
+  MetricsRegistry* metrics_;
+  std::string name_;
+};
+
+/// Fold a finished run's aggregate counters into the registry (one call
+/// per run; counters are cumulative across calls).
+inline void record_sim_result(MetricsRegistry& metrics, const SimResult& r) {
+  metrics.counter("rounds").inc(static_cast<std::uint64_t>(r.rounds));
+  metrics.counter("activations").inc(r.activations);
+  metrics.counter("messages_delivered").inc(r.messages_delivered);
+  metrics.counter("messages_dropped").inc(r.messages_dropped);
+  metrics.counter("exchanges_rejected").inc(r.exchanges_rejected);
+  metrics.counter("payload_bits").inc(r.payload_bits);
+  metrics.histogram("max_inflight").observe(r.max_inflight);
+}
+
+/// Derive the event-level histograms from a recorder: per-delivery
+/// latency (completion - initiation) and, when the stream is
+/// round-monotone, the in-flight exchange depth sampled each round a
+/// delivery interval covers.
+inline void record_event_histograms(MetricsRegistry& metrics,
+                                    const EventRecorder& rec) {
+  Histogram& lat = metrics.histogram("delivery_latency");
+  for (const Event& e : rec.events())
+    if (e.kind() == EventKind::kDelivery)
+      lat.observe(static_cast<std::uint64_t>(e.round() - e.start()));
+  if (!rec.round_monotone() || rec.events().empty()) return;
+  // Sweep: +1 at initiation, -1 at completion, over [0, max_round].
+  const auto horizon = static_cast<std::size_t>(rec.max_round()) + 2;
+  std::vector<std::int64_t> delta(horizon, 0);
+  bool any = false;
+  for (const Event& e : rec.events()) {
+    if (e.kind() != EventKind::kDelivery && e.kind() != EventKind::kDrop &&
+        e.kind() != EventKind::kCrashDrop)
+      continue;
+    ++delta[static_cast<std::size_t>(e.start())];
+    --delta[static_cast<std::size_t>(e.round())];
+    any = true;
+  }
+  if (!any) return;
+  Histogram& depth = metrics.histogram("inflight_depth");
+  std::int64_t inflight = 0;
+  for (std::size_t r = 0; r + 1 < horizon; ++r) {
+    inflight += delta[r];
+    depth.observe(static_cast<std::uint64_t>(inflight));
+  }
+}
+
+}  // namespace latgossip

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/recorder.h"
 #include "sim/metrics.h"
 
 namespace latgossip {
@@ -149,6 +150,14 @@ std::size_t payload_bits_of(const typename P::Payload& pay) {
 
 }  // namespace detail
 
+/// Observer lifetime contract: every hook below (and the recorder
+/// pointer) references state owned by its installer — a SimTrace, a
+/// FaultPlan, an EventRecorder, or a capturing lambda. The owner must
+/// outlive every run_gossip() call made with these options. If an
+/// observer dies first, call reset_observers() before reusing the
+/// options object; SimTrace asserts (debug builds) when it is
+/// re-attached without being cleared, which catches the most common
+/// reuse-after-move footgun.
 struct SimOptions {
   Round max_rounds = 1'000'000;
   /// Stop (as incomplete) once no exchange is in flight and no node
@@ -174,13 +183,30 @@ struct SimOptions {
   /// Per-exchange latency override (jitter). Receives the edge and its
   /// nominal latency; the result is clamped to >= 1.
   std::function<Latency(EdgeId, Latency)> latency_jitter;
+  /// Structured event recorder (obs/recorder.h): activations,
+  /// deliveries, and drops are appended through this raw pointer — no
+  /// std::function hop. Not owned; must outlive the run. One recorder
+  /// per concurrent trial (the recorder is not thread-safe).
+  EventRecorder* recorder = nullptr;
 
-  /// True iff any dynamic hook is installed; hook-free runs take the
-  /// compile-time NoHooks fast path through the event loop.
+  /// True iff any dynamic hook (or the recorder) is installed;
+  /// hook-free runs take the compile-time NoHooks fast path through the
+  /// event loop.
   bool any_hooks() const {
     return static_cast<bool>(on_activation) || static_cast<bool>(is_crashed) ||
            static_cast<bool>(drop_delivery) ||
-           static_cast<bool>(latency_jitter);
+           static_cast<bool>(latency_jitter) || recorder != nullptr;
+  }
+
+  /// Detach every observer: clears all four hooks and the recorder
+  /// pointer. Call when an installed observer's owner may die before
+  /// the next run_gossip() with this options object.
+  void reset_observers() {
+    on_activation = nullptr;
+    is_crashed = nullptr;
+    drop_delivery = nullptr;
+    latency_jitter = nullptr;
+    recorder = nullptr;
   }
 };
 
@@ -203,6 +229,10 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
   };
 
   const std::size_t n = g.num_nodes();
+  // Hoisted: the recorder pointer is read once, not through `opts` on
+  // every event (it cannot change mid-run; see the lifetime contract).
+  [[maybe_unused]] EventRecorder* const recorder =
+      kHooked ? opts.recorder : nullptr;
   SimResult result;
   if (n == 0) {
     result.completed = proto.done(0);
@@ -280,11 +310,17 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
                opts.drop_delivery(d.to, d.from, d.edge, d.start, r));
           if (dropped) {
             ++result.messages_dropped;
+            if (recorder)
+              recorder->record_drop(d.to, d.from, d.edge, d.start, r, crashed);
             continue;
           }
         }
         proto.deliver(d.to, d.from, std::move(d.payload), d.edge, d.start, r);
         ++result.messages_delivered;
+        if constexpr (kHooked) {
+          if (recorder)
+            recorder->record_delivery(d.to, d.from, d.edge, d.start, r);
+        }
       }
       inflight -= due.size();
       due.clear();  // storage retained for bucket reuse
@@ -334,6 +370,7 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
       ++result.activations;
       if constexpr (kHooked) {
         if (opts.on_activation) opts.on_activation(u, peer, edge, r);
+        if (recorder) recorder->record_activation(u, peer, edge, r);
       }
 
       // Bounded in-degree: the responder may reject the initiation.

@@ -5,9 +5,14 @@
 // bounds and to develop robust fault-tolerant algorithms.").
 //
 // A FaultPlan owns the random state and schedules; install it into
-// SimOptions with apply(). The plan must outlive the run_gossip() call
-// (the installed callbacks reference it).
+// SimOptions with apply(). The plan must outlive every run_gossip()
+// call made with those options (the installed callbacks reference it) —
+// see the observer lifetime contract on SimOptions in sim/engine.h.
+// apply() asserts (debug builds) on re-apply without an intervening
+// detach(); detach() — or SimOptions::reset_observers() — removes the
+// hooks so the options object can safely outlive the plan.
 
+#include <cassert>
 #include <functional>
 #include <limits>
 #include <stdexcept>
@@ -57,13 +62,25 @@ class FaultPlan {
   bool crashed(NodeId u, Round r) const { return crash_round_[u] <= r; }
 
   /// Install the hooks. The plan must outlive the simulation run.
+  /// Asserts (debug) if already applied: a second apply() usually means
+  /// a stale SimOptions still references this plan — detach() first.
   void apply(SimOptions& opts) {
+    assert(!applied_ && "FaultPlan: apply() twice without detach()");
+    applied_ = true;
     opts.is_crashed = [this](NodeId u, Round r) { return crashed(u, r); };
     if (drop_probability_ > 0.0) {
       opts.drop_delivery = [this](NodeId, NodeId, EdgeId, Round, Round) {
         return rng_.bernoulli(drop_probability_);
       };
     }
+  }
+
+  /// Remove this plan's hooks from `opts`, making it safe for the
+  /// options to outlive the plan (and re-arming apply()).
+  void detach(SimOptions& opts) {
+    opts.is_crashed = nullptr;
+    opts.drop_delivery = nullptr;
+    applied_ = false;
   }
 
   std::size_t num_crashed_by(Round r) const {
@@ -79,6 +96,7 @@ class FaultPlan {
   std::vector<Round> crash_round_;
   double drop_probability_ = 0.0;
   Rng rng_;
+  bool applied_ = false;
 };
 
 /// Uniform latency jitter: each exchange's latency is the nominal value

@@ -2,6 +2,7 @@
 // Simulation outcome metrics shared by all protocol runs.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "graph/graph.h"
 
@@ -16,6 +17,12 @@ struct SimResult {
   std::size_t exchanges_rejected = 0; ///< bounced by the in-degree cap
   std::size_t payload_bits = 0;       ///< total bits sent (see engine.h)
   std::size_t max_inflight = 0;       ///< peak concurrent deliveries
+  /// Order-insensitive digest of the run's event stream (0 when no
+  /// recorder was attached). The engine never writes this; the caller
+  /// that owns the EventRecorder stamps it after the run (see
+  /// obs/fingerprint.h), so multi-phase protocols carry one digest for
+  /// the whole event stream rather than per-phase fragments.
+  std::uint64_t fingerprint = 0;
 
   bool operator==(const SimResult&) const = default;
 
@@ -29,6 +36,7 @@ struct SimResult {
     exchanges_rejected += phase.exchanges_rejected;
     payload_bits += phase.payload_bits;
     if (phase.max_inflight > max_inflight) max_inflight = phase.max_inflight;
+    fingerprint += phase.fingerprint;  // commutative merge; usually 0
     return *this;
   }
 };

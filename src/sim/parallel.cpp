@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+
+#include "obs/fingerprint.h"
 
 namespace latgossip {
 
@@ -23,15 +27,24 @@ std::size_t resolve_threads(std::size_t threads) noexcept {
 }
 
 TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
-                          std::uint64_t seed, const TrialFn& make_trial) {
+                          std::uint64_t seed, const TrialFn& make_trial,
+                          const ManifestSpec* manifest) {
   TrialAggregate agg;
   agg.trials.resize(num_trials);
+  agg.wall_ms.resize(num_trials, 0.0);
   if (num_trials == 0) return agg;
+
+  auto timed_trial = [&](std::size_t t) {
+    const auto start = std::chrono::steady_clock::now();
+    agg.trials[t] = make_trial(t, Rng(trial_seed(seed, t)));
+    const auto stop = std::chrono::steady_clock::now();
+    agg.wall_ms[t] =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  };
 
   threads = std::min(resolve_threads(threads), num_trials);
   if (threads <= 1) {
-    for (std::size_t t = 0; t < num_trials; ++t)
-      agg.trials[t] = make_trial(t, Rng(trial_seed(seed, t)));
+    for (std::size_t t = 0; t < num_trials; ++t) timed_trial(t);
   } else {
     // Work-stealing over trial indices; each worker writes only its own
     // pre-sized slot, so no result synchronization is needed.
@@ -43,7 +56,7 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
         const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
         if (t >= num_trials) return;
         try {
-          agg.trials[t] = make_trial(t, Rng(trial_seed(seed, t)));
+          timed_trial(t);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
@@ -65,7 +78,23 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
     agg.activations.add(static_cast<double>(r.activations));
     agg.messages_delivered.add(static_cast<double>(r.messages_delivered));
     agg.payload_bits.add(static_cast<double>(r.payload_bits));
+    agg.fingerprint =
+        fingerprint_merge_digests(agg.fingerprint, r.fingerprint);
     if (r.completed) ++agg.num_completed;
+  }
+
+  if (manifest != nullptr) {
+    for (std::size_t t = 0; t < num_trials; ++t) {
+      const std::string metrics_snapshot =
+          manifest->metrics_json_snapshot ? manifest->metrics_json_snapshot(t)
+                                          : std::string();
+      if (!append_jsonl(manifest->path,
+                        manifest_record(manifest->info, t,
+                                        trial_seed(seed, t), agg.trials[t],
+                                        agg.wall_ms[t], metrics_snapshot)))
+        throw std::runtime_error("run_trials: cannot write manifest " +
+                                 manifest->path);
+    }
   }
   return agg;
 }

@@ -21,8 +21,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -38,11 +40,29 @@ struct TrialAggregate {
   Accumulator messages_delivered;
   Accumulator payload_bits;
   std::size_t num_completed = 0;
+  /// Per-trial wall time (not deterministic; excluded from equality
+  /// checks and used only for manifests).
+  std::vector<double> wall_ms;
+  /// Commutative merge of every trial's SimResult::fingerprint — equal
+  /// across thread counts iff each trial's event stream is (the
+  /// event-granular determinism check; 0 when trials don't record).
+  std::uint64_t fingerprint = 0;
 
   double mean_rounds() const noexcept { return rounds.mean(); }
   bool all_completed() const noexcept {
     return num_completed == trials.size();
   }
+};
+
+/// Optional JSONL manifest emission for a trial batch: one record per
+/// trial, appended to `path` in trial order after the pool drains.
+/// `metrics_json_snapshot(t)` (optional) supplies the already-serialized
+/// per-trial metrics object — the trial callback typically fills a
+/// pre-sized vector<string> slot per trial, exp_spread_curve-style.
+struct ManifestSpec {
+  std::string path;
+  RunInfo info;
+  std::function<std::string(std::size_t trial)> metrics_json_snapshot;
 };
 
 /// RNG seed for trial `trial` of a batch rooted at `seed` (SplitMix64
@@ -57,9 +77,13 @@ using TrialFn = std::function<SimResult(std::size_t trial, Rng rng)>;
 
 /// Run `num_trials` independent trials across `threads` worker threads
 /// (0 = hardware concurrency; capped at num_trials) and aggregate.
-/// Results are bit-identical for any thread count. Exceptions thrown by
-/// a trial are rethrown on the calling thread after the pool drains.
+/// Results are bit-identical for any thread count — including the
+/// event-stream fingerprint when trials record. Exceptions thrown by a
+/// trial are rethrown on the calling thread after the pool drains. When
+/// `manifest` is given, one JSONL run-manifest record per trial is
+/// appended to manifest->path (see obs/export.h).
 TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
-                          std::uint64_t seed, const TrialFn& make_trial);
+                          std::uint64_t seed, const TrialFn& make_trial,
+                          const ManifestSpec* manifest = nullptr);
 
 }  // namespace latgossip

@@ -1,25 +1,29 @@
 #pragma once
-// Event tracing for simulation runs: records every edge activation (and
-// through a per-round probe, the protocol's progress curve) for
-// debugging and for spread-curve figures.
+// DEPRECATED shim: SimTrace is now a thin wrapper over the structured
+// event recorder (obs/recorder.h). New code should use EventRecorder
+// directly (set SimOptions::recorder) plus obs/export.h for CSV /
+// Chrome-trace serialization; this header preserves the historical
+// activation-log API for existing callers.
 //
-// Usage:
+// Usage (unchanged):
 //   SimTrace trace;
 //   SimOptions opts;
-//   trace.attach(opts);                      // record activations
+//   trace.attach(opts);                      // record via opts.recorder
 //   run_gossip(g, proto, opts);
 //   trace.to_csv();                          // round,initiator,responder,edge
 //
-// The trace must outlive the run (the installed callback references it).
-// attach() composes with an existing on_activation observer.
+// Lifetime contract (see SimOptions in sim/engine.h): the trace must
+// outlive every run made with the options it attached to; attach()
+// asserts (debug builds) when a trace is re-attached without clear(),
+// and SimOptions::reset_observers() detaches a dead trace.
 
-#include <cstdint>
-#include <functional>
+#include <cassert>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 
 namespace latgossip {
@@ -33,55 +37,57 @@ class SimTrace {
     EdgeId edge;
   };
 
-  /// Install the recording hook into `opts`, chaining any observer that
-  /// is already present.
+  /// Install the recorder into `opts`. Unlike the old callback chain,
+  /// recording is a separate engine channel, so an existing
+  /// on_activation observer keeps firing untouched.
   void attach(SimOptions& opts) {
-    auto previous = std::move(opts.on_activation);
-    opts.on_activation = [this, previous = std::move(previous)](
-                             NodeId u, NodeId v, EdgeId e, Round r) {
-      events_.push_back(Activation{r, u, v, e});
-      if (previous) previous(u, v, e, r);
-    };
+    assert(!attached_ && "SimTrace: attach() without clear(); the previous "
+                         "SimOptions still points at this trace");
+    attached_ = true;
+    opts.recorder = &recorder_;
   }
 
-  const std::vector<Activation>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  /// The underlying structured recorder (all event kinds, fingerprint).
+  const EventRecorder& recorder() const { return recorder_; }
 
-  /// Number of activations in round r.
+  /// Activation events only, in recording order (materialized lazily).
+  const std::vector<Activation>& events() const {
+    if (cache_.size() != recorder_.activations()) {
+      cache_.clear();
+      cache_.reserve(recorder_.activations());
+      for (const Event& e : recorder_.events())
+        if (e.kind() == EventKind::kActivation)
+          cache_.push_back(Activation{e.round(), e.a(), e.b(), e.edge()});
+    }
+    return cache_;
+  }
+
+  /// Number of recorded activations.
+  std::size_t size() const { return recorder_.activations(); }
+
+  void clear() {
+    recorder_.clear();
+    cache_.clear();
+    attached_ = false;
+  }
+
+  /// Number of activations in round r (indexed; see EventRecorder).
   std::size_t activations_in_round(Round r) const {
-    std::size_t c = 0;
-    for (const Activation& a : events_)
-      if (a.round == r) ++c;
-    return c;
+    return recorder_.activations_in_round(r);
   }
 
   /// Activations per edge (indexable by EdgeId up to the max edge seen).
   std::vector<std::size_t> per_edge_counts(std::size_t num_edges) const {
-    std::vector<std::size_t> counts(num_edges, 0);
-    for (const Activation& a : events_)
-      if (a.edge < num_edges) ++counts[a.edge];
-    return counts;
+    return recorder_.per_edge_counts(num_edges);
   }
 
   /// CSV rendering: "round,initiator,responder,edge" per line.
-  std::string to_csv() const {
-    std::string out = "round,initiator,responder,edge\n";
-    for (const Activation& a : events_) {
-      out += std::to_string(a.round);
-      out += ',';
-      out += std::to_string(a.initiator);
-      out += ',';
-      out += std::to_string(a.responder);
-      out += ',';
-      out += std::to_string(a.edge);
-      out += '\n';
-    }
-    return out;
-  }
+  std::string to_csv() const { return activations_to_csv(recorder_); }
 
  private:
-  std::vector<Activation> events_;
+  EventRecorder recorder_;
+  mutable std::vector<Activation> cache_;
+  bool attached_ = false;
 };
 
 }  // namespace latgossip

@@ -9,6 +9,7 @@
 #include "core/spanner.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
 
@@ -150,6 +151,52 @@ TEST(Faults, SpannerOverlayBrittleUnderCrash) {
       EXPECT_FALSE(proto.rumors()[v].test(victim));
     }
   }
+}
+
+TEST(Faults, RecorderCountsMatchSimResultUnderLinkLoss) {
+  // Recorder event counts and the engine's aggregate counters are two
+  // independent tallies of the same stream; under a seeded lossy run
+  // they must agree exactly, and every initiated exchange must be fully
+  // accounted for as deliveries + drops.
+  const auto g = make_clique(24);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(11));
+  FaultPlan plan(24, 13);
+  plan.set_link_drop_probability(0.3);
+  EventRecorder rec;
+  SimOptions opts;
+  plan.apply(opts);
+  opts.recorder = &rec;
+  opts.max_rounds = 100'000;
+  const SimResult r = run_gossip(g, proto, opts);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_EQ(rec.activations(), r.activations);
+  EXPECT_EQ(rec.deliveries(), r.messages_delivered);
+  EXPECT_EQ(rec.drops(), r.messages_dropped);
+  // Each accepted exchange produces exactly two deliveries-or-drops.
+  EXPECT_EQ(2 * (r.activations - r.exchanges_rejected),
+            r.messages_delivered + r.messages_dropped);
+}
+
+TEST(Faults, RecorderSeparatesCrashDropsFromLinkDrops) {
+  // Node 1 on a path is crashed from round 0: every loss is a crash
+  // drop, none a link drop, and the totals still match SimResult.
+  const auto g = make_path(3);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(3));
+  FaultPlan plan(3, 5);
+  plan.crash_node(1, 0);
+  EventRecorder rec;
+  SimOptions opts;
+  plan.apply(opts);
+  opts.recorder = &rec;
+  opts.max_rounds = 500;
+  const SimResult r = run_gossip(g, proto, opts);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(rec.count(EventKind::kDrop), 0u);
+  EXPECT_EQ(rec.count(EventKind::kCrashDrop), r.messages_dropped);
+  EXPECT_GT(r.messages_dropped, 0u);
 }
 
 TEST(Jitter, UniformJitterStaysPositiveAndBounded) {

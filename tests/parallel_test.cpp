@@ -10,6 +10,7 @@
 #include "core/push_pull.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/parallel.h"
 
@@ -57,6 +58,37 @@ TEST(RunTrials, BitIdenticalAcrossThreadCounts) {
               other->messages_delivered.mean());
   }
   EXPECT_TRUE(one.all_completed());
+}
+
+TEST(RunTrials, RecordingFingerprintsIdenticalAcrossThreadCounts) {
+  // With a per-trial recorder attached (dynamic-hook path), the merged
+  // event-stream digest must still be bit-identical for any worker
+  // count — the event streams themselves are deterministic per trial.
+  const WeightedGraph g = test_graph();
+  const TrialFn fn = [&g](std::size_t, Rng rng) {
+    EventRecorder rec;
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, rng);
+    SimOptions opts;
+    opts.recorder = &rec;
+    opts.max_rounds = 1'000'000;
+    SimResult r = run_gossip(g, proto, opts);
+    r.fingerprint = rec.fingerprint();
+    return r;
+  };
+  const TrialAggregate one = run_trials(16, 1, 42, fn);
+  const TrialAggregate two = run_trials(16, 2, 42, fn);
+  const TrialAggregate eight = run_trials(16, 8, 42, fn);
+  EXPECT_NE(one.fingerprint, 0u);
+  EXPECT_EQ(one.fingerprint, two.fingerprint);
+  EXPECT_EQ(one.fingerprint, eight.fingerprint);
+  EXPECT_EQ(one.trials, two.trials);
+  EXPECT_EQ(one.trials, eight.trials);
+  // And the aggregate really is the commutative merge of the trials.
+  std::uint64_t manual = 0;
+  for (const SimResult& r : one.trials)
+    manual = fingerprint_merge_digests(manual, r.fingerprint);
+  EXPECT_EQ(manual, one.fingerprint);
 }
 
 TEST(RunTrials, TrialsSeeIndependentSeeds) {

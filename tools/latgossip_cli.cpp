@@ -3,8 +3,17 @@
 //   latgossip gen --family=<name> [family params] --out=FILE [latency opts]
 //   latgossip analyze --in=FILE [--sweep-iters=N]
 //   latgossip run --in=FILE --proto=<pushpull|flooding|eid|tk|unified>
-//                 [--source=0] [--seed=1] [--trace=FILE.csv]
+//                 [--source=0] [--seed=1] [--trials=N] [--threads=T]
+//                 [--trace=FILE[.json]] [--manifest=FILE.jsonl]
+//                 [--curve-out=FILE.csv]
 //   latgossip game --m=N [--p=0.1] --strategy=<adaptive|systematic|random>
+//
+// run observability: --trace writes the event stream (Chrome trace JSON
+// when the name ends in .json, activation CSV otherwise; with trials>1
+// one file per trial, ".t<k>" before the extension). --manifest appends
+// one JSONL run record per trial (build info, config, SimResult,
+// fingerprint, metrics). --curve-out (pushpull only) writes the
+// per-round informed-count spread across trials as round,min,mean,max.
 //
 // Families: clique, cycle, path, star, grid (--rows, --cols), er (--p),
 // regular (--d), ws (--k --beta), ba (--attach), ring_cliques
@@ -12,8 +21,12 @@
 // (--alpha --ell). Latency options: --lat-uniform=L |
 // --lat-range=LO,HI | --lat-twolevel=FAST,SLOW,PFAST.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "latgossip.h"
 
@@ -135,6 +148,13 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+void write_file_or_throw(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path);
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+}
+
 int cmd_run(const Args& args) {
   const std::string in = args.get("in", "");
   if (in.empty()) return usage();
@@ -146,41 +166,88 @@ int cmd_run(const Args& args) {
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 1));
   // 0 = hardware concurrency; only consulted when trials > 1.
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  const Round max_rounds = args.get_int("max-rounds", 5'000'000);
   Rng rng(seed);
 
-  SimTrace trace;
-  SimOptions opts;
-  opts.max_rounds = args.get_int("max-rounds", 5'000'000);
   const std::string trace_path = args.get("trace", "");
-  if (!trace_path.empty() && trials > 1)
-    throw std::invalid_argument("--trace requires --trials=1");
-  if (!trace_path.empty()) trace.attach(opts);
+  const std::string manifest_path = args.get("manifest", "");
+  const std::string curve_path = args.get("curve-out", "");
+  if (!curve_path.empty() && proto_name != "pushpull")
+    throw std::invalid_argument(
+        "--curve-out needs per-node inform rounds; only --proto=pushpull "
+        "exposes them");
+  // Recording (events + metrics) is enabled per trial whenever an
+  // export that needs it was requested.
+  const bool recording = !trace_path.empty() || !manifest_path.empty();
+
+  // A trace ending in .json is exported as Chrome trace-event JSON
+  // (open in Perfetto / chrome://tracing); anything else as the
+  // activation CSV. With trials > 1, each trial writes its own file
+  // with ".t<k>" spliced in before the extension.
+  auto trial_trace_path = [&](std::size_t t) -> std::string {
+    if (trials == 1) return trace_path;
+    const std::string tag = ".t" + std::to_string(t);
+    const auto dot = trace_path.find_last_of('.');
+    if (dot == std::string::npos ||
+        trace_path.find('/', dot) != std::string::npos)
+      return trace_path + tag;
+    return trace_path.substr(0, dot) + tag + trace_path.substr(dot);
+  };
+  const bool trace_json =
+      trace_path.size() >= 5 &&
+      trace_path.compare(trace_path.size() - 5, 5, ".json") == 0;
+
+  // Per-trial side channels, pre-sized so worker threads write disjoint
+  // slots (same pattern as run_trials itself).
+  std::vector<std::string> metrics_snapshots(trials);
+  std::vector<std::size_t> trace_events(trials, 0);
+  std::vector<std::vector<Round>> inform_rounds(
+      curve_path.empty() ? 0 : trials);
 
   // One trial with a private RNG; .completed carries protocol-level
   // success so the multi-trial aggregate can count completions.
   const bool known_latencies = args.get_bool("known-latencies");
-  auto run_single = [&](Rng trial_rng) -> SimResult {
+  auto run_single = [&](std::size_t trial, Rng trial_rng) -> SimResult {
+    // One recorder per worker thread, reused across that thread's
+    // trials: clear() keeps the event-log storage, so only the first
+    // trial per thread pays the allocation (the recorder's designed
+    // steady state). Trials never share a recorder concurrently.
+    thread_local EventRecorder recorder;
+    recorder.clear();
+    MetricsRegistry metrics;
+    ObsContext obs{&recorder, &metrics};
+    ObsContext* obs_ptr = recording ? &obs : nullptr;
+    SimOptions opts;
+    opts.max_rounds = max_rounds;
+    if (recording) opts.recorder = &recorder;
     SimResult result;
     if (proto_name == "pushpull") {
       NetworkView view(g, false);
       PushPullBroadcast proto(view, source, trial_rng);
       result = run_gossip(g, proto, opts);
+      if (!curve_path.empty()) {
+        inform_rounds[trial].resize(n);
+        for (NodeId v = 0; v < n; ++v)
+          inform_rounds[trial][v] = proto.inform_round(v);
+      }
     } else if (proto_name == "flooding") {
       NetworkView view(g, false);
       RoundRobinFlooding proto(view, GossipGoal::kAllToAll, source,
                                own_id_rumors(n));
       result = run_gossip(g, proto, opts);
     } else if (proto_name == "eid") {
-      const GeneralEidOutcome out = run_general_eid(g, 0, trial_rng);
+      const GeneralEidOutcome out =
+          run_general_eid(g, 0, trial_rng, 1, obs_ptr);
       result = out.sim;
       result.completed = out.success;
     } else if (proto_name == "tk") {
-      const PathDiscoveryOutcome out = run_path_discovery(g);
+      const PathDiscoveryOutcome out = run_path_discovery(g, obs_ptr);
       result = out.sim;
       result.completed = out.success;
     } else if (proto_name == "unified") {
       UnifiedOptions uopts;
       uopts.latencies_known = known_latencies;
+      uopts.obs = obs_ptr;
       const UnifiedOutcome out = run_unified(g, uopts, trial_rng);
       result.rounds = out.unified_rounds;
       result.completed = out.completed;
@@ -191,13 +258,76 @@ int cmd_run(const Args& args) {
     } else {
       throw std::invalid_argument("unknown protocol '" + proto_name + "'");
     }
+    if (recording) {
+      result.fingerprint = recorder.fingerprint();
+      record_sim_result(metrics, result);
+      record_event_histograms(metrics, recorder);
+      metrics_snapshots[trial] = metrics_json(metrics);
+      if (!trace_path.empty()) {
+        trace_events[trial] = recorder.events().size();
+        write_file_or_throw(trial_trace_path(trial),
+                            trace_json ? to_chrome_trace_json(recorder)
+                                       : activations_to_csv(recorder));
+      }
+    }
     return result;
   };
 
+  RunInfo info;
+  info.tool = "latgossip run";
+  info.protocol = proto_name;
+  info.graph_source = in;
+  info.nodes = n;
+  info.edges = g.num_edges();
+  info.seed = seed;
+  info.threads = threads;
+
+  // Informed-count spread curve: counts of informed nodes per round,
+  // min/mean/max across trials ("round,min,mean,max" CSV).
+  auto write_curve = [&]() {
+    if (curve_path.empty()) return;
+    Round horizon = 0;
+    for (const auto& rounds_v : inform_rounds)
+      for (Round r : rounds_v) horizon = std::max(horizon, r);
+    std::string body = "round,min,mean,max\n";
+    std::vector<std::size_t> counts(trials);
+    for (Round r = 0; r <= horizon; ++r) {
+      for (std::size_t t = 0; t < trials; ++t) {
+        std::size_t c = 0;
+        for (Round ir : inform_rounds[t])
+          if (ir >= 0 && ir <= r) ++c;
+        counts[t] = c;
+      }
+      std::size_t lo = counts[0], hi = counts[0], sum = 0;
+      for (std::size_t c : counts) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+        sum += c;
+      }
+      char line[96];
+      std::snprintf(line, sizeof line, "%lld,%zu,%.2f,%zu\n",
+                    static_cast<long long>(r), lo,
+                    static_cast<double>(sum) / static_cast<double>(trials),
+                    hi);
+      body += line;
+    }
+    write_file_or_throw(curve_path, body);
+    std::printf("curve          %s (%lld rounds)\n", curve_path.c_str(),
+                static_cast<long long>(horizon) + 1);
+  };
+
   if (trials > 1) {
-    const TrialAggregate agg = run_trials(
-        trials, threads, seed,
-        [&](std::size_t, Rng trial_rng) { return run_single(trial_rng); });
+    ManifestSpec manifest;
+    if (!manifest_path.empty()) {
+      manifest.path = manifest_path;
+      manifest.info = info;
+      manifest.metrics_json_snapshot = [&](std::size_t t) {
+        return metrics_snapshots[t];
+      };
+    }
+    const TrialAggregate agg =
+        run_trials(trials, threads, seed, run_single,
+                   manifest_path.empty() ? nullptr : &manifest);
     std::printf("protocol       %s\n", proto_name.c_str());
     std::printf("trials         %zu (threads %zu%s)\n", trials, threads,
                 threads == 0 ? " = hardware" : "");
@@ -208,10 +338,25 @@ int cmd_run(const Args& args) {
     std::printf("complete       %zu/%zu\n", agg.num_completed, trials);
     std::printf("exchanges mean %.1f\n", agg.activations.mean());
     std::printf("payload bits   %.1f (mean)\n", agg.payload_bits.mean());
+    if (recording)
+      std::printf("fingerprint    0x%016llx\n",
+                  static_cast<unsigned long long>(agg.fingerprint));
+    if (!trace_path.empty())
+      std::printf("traces         %s .. %s\n", trial_trace_path(0).c_str(),
+                  trial_trace_path(trials - 1).c_str());
+    if (!manifest_path.empty())
+      std::printf("manifest       %s (%zu records)\n", manifest_path.c_str(),
+                  trials);
+    write_curve();
     return 0;
   }
 
-  const SimResult result = run_single(rng);
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimResult result = run_single(0, rng);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
   const bool complete = result.completed;
 
   std::printf("protocol       %s\n", proto_name.c_str());
@@ -219,17 +364,20 @@ int cmd_run(const Args& args) {
   std::printf("complete       %s\n", complete ? "yes" : "NO");
   std::printf("exchanges      %zu\n", result.activations);
   std::printf("payload bits   %zu\n", result.payload_bits);
-  if (!trace_path.empty()) {
-    FILE* f = std::fopen(trace_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-      return 1;
-    }
-    std::fputs(trace.to_csv().c_str(), f);
-    std::fclose(f);
+  if (recording)
+    std::printf("fingerprint    0x%016llx\n",
+                static_cast<unsigned long long>(result.fingerprint));
+  if (!trace_path.empty())
     std::printf("trace          %s (%zu events)\n", trace_path.c_str(),
-                trace.size());
+                trace_events[0]);
+  if (!manifest_path.empty()) {
+    if (!append_jsonl(manifest_path,
+                      manifest_record(info, 0, seed, result, wall_ms,
+                                      metrics_snapshots[0])))
+      throw std::runtime_error("cannot append to " + manifest_path);
+    std::printf("manifest       %s (1 record)\n", manifest_path.c_str());
   }
+  write_curve();
   return 0;
 }
 
