@@ -1,5 +1,7 @@
 #include "app/aggregate.h"
 
+#include "sim/dispatch.h"
+
 #include <stdexcept>
 
 namespace latgossip {
@@ -51,7 +53,7 @@ LeaderElectionResult elect_min_leader(const WeightedGraph& g, Rng rng,
   MinAggregation proto(view, std::move(ids), rng);
   SimOptions opts;
   opts.max_rounds = max_rounds;
-  const SimResult sim = run_gossip(g, proto, opts);
+  const SimResult sim = dispatch_gossip(g, proto, opts);
   result.leader = static_cast<NodeId>(proto.global_min());
   result.rounds = sim.rounds;
   result.completed = sim.completed;

@@ -1,0 +1,212 @@
+#include "check/case_gen.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/latency_models.h"
+
+namespace latgossip {
+namespace {
+
+enum class Family : std::uint8_t {
+  kPath = 0,
+  kCycle,
+  kStar,
+  kClique,
+  kGrid,
+  kBinaryTree,
+  kErdosRenyi,
+  kRandomRegular,
+  kRingOfCliques,
+  kDumbbell,
+  kCount,
+};
+
+WeightedGraph random_topology(Rng& rng, const CaseProfile& profile,
+                              std::size_t n) {
+  const auto family =
+      static_cast<Family>(rng.uniform(static_cast<std::uint64_t>(Family::kCount)));
+  switch (family) {
+    case Family::kPath:
+      return make_path(n);
+    case Family::kCycle:
+      return n >= 3 ? make_cycle(n) : make_path(n);
+    case Family::kStar:
+      return make_star(n);
+    case Family::kClique:
+      return make_clique(n);
+    case Family::kGrid: {
+      std::size_t rows = 2 + rng.uniform(3);
+      while (rows > 1 && rows * 2 > n) --rows;
+      if (rows <= 1) return make_path(n);
+      const std::size_t cols = n / rows;
+      const bool wrap = rows >= 3 && cols >= 3 && rng.bernoulli(0.3);
+      return make_grid(rows, cols, wrap);
+    }
+    case Family::kBinaryTree:
+      return make_binary_tree(n);
+    case Family::kErdosRenyi: {
+      const double p = 0.25 + 0.5 * rng.uniform_double();
+      return make_erdos_renyi(n, p, rng, 256);
+    }
+    case Family::kRandomRegular: {
+      std::size_t d = 2 + rng.uniform(3);
+      if (d >= n) d = n - 1;
+      if ((n * d) % 2 != 0) {
+        if (d + 1 < n) ++d; else --d;
+      }
+      if (d == 0) return make_path(n);
+      return make_random_regular(n, d, rng, 512);
+    }
+    case Family::kRingOfCliques: {
+      const std::size_t cliques = 3 + rng.uniform(2);
+      const std::size_t size = std::max<std::size_t>(2, n / cliques);
+      return make_ring_of_cliques(cliques, size);
+    }
+    case Family::kDumbbell: {
+      const std::size_t size = std::max<std::size_t>(2, n / 3);
+      return make_dumbbell(size, 1 + rng.uniform(3));
+    }
+    case Family::kCount:
+      break;
+  }
+  return make_path(n);
+  (void)profile;
+}
+
+void random_latencies(Rng& rng, const CaseProfile& profile, WeightedGraph& g) {
+  switch (rng.uniform(4)) {
+    case 0:
+      break;  // unit latencies as generated
+    case 1:
+      assign_random_uniform_latency(g, 1, profile.max_latency, rng);
+      break;
+    case 2:
+      assign_two_level_latency(g, 1, profile.max_latency,
+                               0.3 + 0.4 * rng.uniform_double(), rng);
+      break;
+    default:
+      assign_uniform_latency(
+          g, 1 + static_cast<Latency>(
+                     rng.uniform(static_cast<std::uint64_t>(profile.max_latency))));
+      break;
+  }
+}
+
+}  // namespace
+
+const char* check_proto_name(CheckProto p) {
+  switch (p) {
+    case CheckProto::kPushPull: return "pushpull";
+    case CheckProto::kPushOnly: return "pushonly";
+    case CheckProto::kFlooding: return "flooding";
+    case CheckProto::kUnified: return "unified";
+    case CheckProto::kEid: return "eid";
+    case CheckProto::kTk: return "tk";
+    case CheckProto::kCount: break;
+  }
+  return "?";
+}
+
+bool check_proto_is_composite(CheckProto p) {
+  return p == CheckProto::kUnified || p == CheckProto::kEid ||
+         p == CheckProto::kTk;
+}
+
+TestCase random_case(Rng& rng, const CaseProfile& profile) {
+  TestCase tc;
+  const std::uint64_t proto_pool =
+      profile.composites ? static_cast<std::uint64_t>(CheckProto::kCount) : 3;
+  tc.proto = static_cast<CheckProto>(rng.uniform(proto_pool));
+
+  const std::size_t span = profile.max_nodes - profile.min_nodes + 1;
+  const std::size_t n = profile.min_nodes + rng.uniform(span);
+  WeightedGraph g = random_topology(rng, profile, n);
+  random_latencies(rng, profile, g);
+  tc.num_nodes = g.num_nodes();
+  tc.edges = g.edges();
+  tc.seed = rng() | 1;  // nonzero
+  tc.source = static_cast<NodeId>(rng.uniform(tc.num_nodes));
+  tc.tk_estimate = 1 + static_cast<Latency>(rng.uniform(8));
+
+  if (!check_proto_is_composite(tc.proto)) {
+    // Give non-terminating (faulted) runs a bounded but roomy horizon.
+    tc.max_rounds =
+        500 + static_cast<Round>(tc.num_nodes) * 8 * g.max_latency();
+    if (profile.allow_model_variants) {
+      tc.blocking = rng.bernoulli(0.15);
+      if (rng.bernoulli(0.15))
+        tc.max_incoming_per_round = 1 + rng.uniform(2);
+      if (rng.bernoulli(0.2))
+        tc.jitter_spread = 1 + static_cast<Latency>(rng.uniform(3));
+    }
+    if (profile.allow_faults && rng.bernoulli(0.4)) {
+      if (rng.bernoulli(0.6) && tc.num_nodes > 2)
+        tc.faults.crash_count = 1 + rng.uniform(std::min<std::uint64_t>(
+                                        2, tc.num_nodes - 2));
+      tc.faults.crash_round = static_cast<Round>(rng.uniform(10));
+      if (rng.bernoulli(0.6))
+        tc.faults.drop_probability = 0.05 + 0.3 * rng.uniform_double();
+      if (!tc.faults.any()) tc.faults.crash_count = 0;
+    }
+  }
+  return tc;
+}
+
+WeightedGraph materialize_graph(const TestCase& tc) {
+  GraphBuilder b(tc.num_nodes);
+  for (const Edge& e : tc.edges) b.add_edge(e.u, e.v, e.latency);
+  return b.build();
+}
+
+bool case_valid(const TestCase& tc) {
+  if (tc.num_nodes == 0) return false;
+  if (tc.source >= tc.num_nodes) return false;
+  if (tc.tk_estimate < 1) return false;
+  GraphBuilder b(tc.num_nodes);
+  for (const Edge& e : tc.edges) {
+    if (e.u >= tc.num_nodes || e.v >= tc.num_nodes || e.u == e.v ||
+        e.latency < 1 || b.has_edge(e.u, e.v))
+      return false;
+    b.add_edge(e.u, e.v, e.latency);
+  }
+  return b.build().is_connected();
+}
+
+std::string describe(const TestCase& tc) {
+  std::ostringstream out;
+  out << check_proto_name(tc.proto) << " n=" << tc.num_nodes
+      << " m=" << tc.edges.size() << " seed=" << tc.seed
+      << " source=" << tc.source;
+  if (tc.proto == CheckProto::kTk) out << " k=" << tc.tk_estimate;
+  if (tc.blocking) out << " blocking";
+  if (tc.max_incoming_per_round > 0)
+    out << " max_in=" << tc.max_incoming_per_round;
+  if (tc.jitter_spread > 0) out << " jitter=" << tc.jitter_spread;
+  if (tc.faults.crash_count > 0)
+    out << " crashes=" << tc.faults.crash_count << "@"
+        << tc.faults.crash_round;
+  if (tc.faults.drop_probability > 0.0)
+    out << " drop=" << tc.faults.drop_probability;
+  return out.str();
+}
+
+void write_case(std::ostream& out, const TestCase& tc) {
+  out << "# latgossip conformance counterexample\n"
+      << "# " << describe(tc) << "\n"
+      << "# proto=" << check_proto_name(tc.proto) << " seed=" << tc.seed
+      << " source=" << tc.source << " tk=" << tc.tk_estimate
+      << " blocking=" << (tc.blocking ? 1 : 0)
+      << " max_incoming=" << tc.max_incoming_per_round
+      << " jitter=" << tc.jitter_spread << " max_rounds=" << tc.max_rounds
+      << " crashes=" << tc.faults.crash_count << "@" << tc.faults.crash_round
+      << " drop=" << tc.faults.drop_probability << "\n";
+  write_graph(out, materialize_graph(tc));
+}
+
+}  // namespace latgossip

@@ -1,0 +1,94 @@
+#pragma once
+// Seeded random-case generation for the model-conformance framework.
+//
+// A TestCase is a fully materialized property-test input: an explicit
+// edge list (so the shrinker can drop nodes/edges and reduce latencies
+// directly), a protocol choice, a seed for all protocol/fault
+// randomness, and the engine-model knobs the case exercises. Cases are
+// generated from a single RNG, so a (profile, seed) pair reproduces the
+// exact case — latgossip_check prints the case seed of any failure.
+//
+// Composite protocols (unified, EID, T(k)) own their SimOptions
+// internally, so the fault/blocking/jitter knobs apply only to the
+// simple protocols; random_case() keeps them off elsewhere.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace latgossip {
+
+enum class CheckProto : std::uint8_t {
+  kPushPull = 0,  ///< PushPullBroadcast (single-source rumor)
+  kPushOnly,      ///< PushOnlyBroadcast
+  kFlooding,      ///< RoundRobinFlooding, single-source goal
+  kUnified,       ///< run_unified (both branches)
+  kEid,           ///< run_general_eid (guess-and-double + check)
+  kTk,            ///< run_tk_schedule
+  kCount,
+};
+
+const char* check_proto_name(CheckProto p);
+bool check_proto_is_composite(CheckProto p);
+
+/// Fault injection knobs (simple protocols only).
+struct FaultSpec {
+  std::size_t crash_count = 0;  ///< nodes crashed at crash_round
+  Round crash_round = 0;
+  double drop_probability = 0.0;
+
+  bool any() const {
+    return crash_count > 0 || drop_probability > 0.0;
+  }
+};
+
+struct TestCase {
+  CheckProto proto = CheckProto::kPushPull;
+  std::size_t num_nodes = 0;
+  std::vector<Edge> edges;  ///< explicit and shrinkable; EdgeId == index
+  std::uint64_t seed = 1;   ///< protocol + fault + jitter randomness
+  NodeId source = 0;        ///< broadcast source (simple protocols)
+  Latency tk_estimate = 1;  ///< T(k) schedule parameter
+
+  // Engine-model knobs (simple protocols only).
+  bool blocking = false;
+  std::size_t max_incoming_per_round = 0;
+  Latency jitter_spread = 0;
+  Round max_rounds = 2000;
+  FaultSpec faults;
+};
+
+/// Knobs for random_case(); the long-run sweep widens these.
+struct CaseProfile {
+  std::size_t min_nodes = 2;
+  std::size_t max_nodes = 14;
+  Latency max_latency = 9;
+  bool allow_faults = true;
+  bool allow_model_variants = true;  ///< blocking / in-degree / jitter
+  bool composites = true;            ///< include unified / EID / T(k)
+};
+
+/// One random case. Uses only `rng`; deterministic given its state.
+TestCase random_case(Rng& rng, const CaseProfile& profile = {});
+
+/// Build the CSR graph from the explicit edge list. Throws on invalid
+/// edge lists (the shrinker filters candidates with case_valid first).
+WeightedGraph materialize_graph(const TestCase& tc);
+
+/// Structurally sound: >= 1 node, endpoints in range, latencies >= 1,
+/// no duplicate/self-loop edges, source in range, connected. Every
+/// generated case and every accepted shrink candidate satisfies this.
+bool case_valid(const TestCase& tc);
+
+/// One-line human-readable spec ("pushpull n=7 m=9 seed=42 drop=0.1 …").
+std::string describe(const TestCase& tc);
+
+/// Full reproducible dump: spec line(s) plus the graph in graph/io
+/// format. latgossip_check writes this as the failure artifact.
+void write_case(std::ostream& out, const TestCase& tc);
+
+}  // namespace latgossip

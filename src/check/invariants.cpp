@@ -1,0 +1,122 @@
+#include "check/invariants.h"
+
+#include <sstream>
+
+namespace latgossip {
+namespace {
+
+bool is_loss(EventKind k) {
+  return k == EventKind::kDrop || k == EventKind::kCrashDrop;
+}
+
+}  // namespace
+
+std::vector<std::string> check_invariants(const InvariantInput& in,
+                                          const std::string& label) {
+  std::vector<std::string> failures;
+  auto fail = [&](const std::string& what) {
+    failures.push_back(label + ": " + what);
+  };
+  const WeightedGraph& g = *in.graph;
+  const EventRecorder& rec = *in.recorder;
+
+  // --- accounting: recorder counts vs SimResult counters --------------
+  if (!in.multi_phase) {
+    std::ostringstream os;
+    if (rec.activations() != in.result.activations) {
+      os << "recorder saw " << rec.activations() << " activations, SimResult "
+         << in.result.activations;
+      fail(os.str());
+    }
+    if (rec.deliveries() != in.result.messages_delivered)
+      fail("recorder delivery count != SimResult.messages_delivered");
+    if (rec.drops() != in.result.messages_dropped)
+      fail("recorder drop count != SimResult.messages_dropped");
+  }
+
+  // --- per-event latency conformance ----------------------------------
+  for (const Event& e : rec.events()) {
+    const EventKind k = e.kind();
+    if (k != EventKind::kDelivery && !is_loss(k)) continue;
+    const EdgeId edge = e.edge();
+    if (edge == kInvalidEdge || edge >= g.num_edges()) {
+      fail("delivery/drop event carries an invalid edge id");
+      continue;
+    }
+    const Round elapsed = e.round() - e.start();
+    if (in.jitter_active) {
+      if (elapsed < 1) {
+        fail("jittered delivery completed in < 1 round");
+        break;
+      }
+    } else if (elapsed != g.latency(edge)) {
+      std::ostringstream os;
+      os << "delivery over edge " << edge << " took " << elapsed
+         << " rounds, edge latency is " << g.latency(edge);
+      fail(os.str());
+      break;
+    }
+  }
+
+  // --- stream shape (single-phase runs only) --------------------------
+  if (!in.multi_phase && !rec.empty()) {
+    if (!rec.round_monotone())
+      fail("event stream is not round-monotone within a single run");
+    if (rec.max_round() > in.result.rounds) {
+      std::ostringstream os;
+      os << "event at round " << rec.max_round() << " past the run end ("
+         << in.result.rounds << ")";
+      fail(os.str());
+    }
+  }
+
+  // --- informed-set monotonicity (single-source broadcast) ------------
+  if (in.inform_round != nullptr) {
+    const std::vector<Round>& inf = *in.inform_round;
+    if (in.source < inf.size() && inf[in.source] != 0)
+      fail("broadcast source not informed at round 0");
+    for (const Event& e : rec.events()) {
+      if (e.kind() != EventKind::kDelivery) continue;
+      const NodeId to = e.a();
+      const NodeId from = e.b();
+      if (to >= inf.size() || from >= inf.size()) continue;
+      // Sender informed when the payload snapshot was taken => the
+      // receiver must be informed no later than the delivery round.
+      const bool sender_knew = inf[from] >= 0 && inf[from] <= e.start();
+      if (sender_knew && (inf[to] < 0 || inf[to] > e.round())) {
+        std::ostringstream os;
+        os << "node " << to << " received the rumor from informed node "
+           << from << " at round " << e.round()
+           << " but its inform round is " << inf[to];
+        fail(os.str());
+        break;
+      }
+    }
+    // Every informed non-source node must be justified by a delivery
+    // from a then-informed sender landing exactly at its inform round.
+    for (NodeId u = 0; u < inf.size(); ++u) {
+      if (u == in.source || inf[u] < 0) continue;
+      bool justified = false;
+      for (const Event& e : rec.events()) {
+        if (e.kind() != EventKind::kDelivery || e.a() != u) continue;
+        const NodeId from = e.b();
+        if (from < inf.size() && inf[from] >= 0 && inf[from] <= e.start() &&
+            e.round() == inf[u]) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        std::ostringstream os;
+        os << "node " << u << " claims inform round " << inf[u]
+           << " without a matching delivery from an informed sender";
+        fail(os.str());
+        break;
+      }
+    }
+  }
+
+  return failures;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,39 @@
+#pragma once
+// Counterexample shrinker: given a TestCase on which a failure predicate
+// holds (typically "the engines diverge"), greedily minimize it while
+// preserving the failure. Passes, applied to fixpoint under an attempt
+// budget:
+//
+//   * drop a node (remapping ids and the source);
+//   * drop an edge;
+//   * reduce an edge latency to 1, or halve it;
+//   * disable model knobs (blocking, in-degree cap, jitter, faults) and
+//     shrink the T(k) estimate;
+//   * replace the seed with a small constant and move the source to 0.
+//
+// Every candidate must stay case_valid() (connected, duplicate-free,
+// latencies >= 1) — the predicate is only consulted on sound cases, so
+// shrinking can never manufacture a bogus "failure" out of an invalid
+// input.
+
+#include <cstddef>
+#include <functional>
+
+#include "check/case_gen.h"
+
+namespace latgossip {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;  ///< predicate evaluations
+  std::size_t accepted = 0;  ///< candidates that kept the failure
+};
+
+/// Minimize `original` (on which `fails` must return true) under
+/// `fails`, evaluating it at most `max_attempts` times. Returns the
+/// smallest failing case found.
+TestCase shrink_case(const TestCase& original,
+                     const std::function<bool(const TestCase&)>& fails,
+                     ShrinkStats* stats = nullptr,
+                     std::size_t max_attempts = 4000);
+
+}  // namespace latgossip

@@ -8,7 +8,7 @@
 #include "core/rr_broadcast.h"
 #include "core/termination.h"
 #include "obs/metrics.h"
-#include "sim/engine.h"
+#include "sim/dispatch.h"
 
 namespace latgossip {
 namespace {
@@ -63,11 +63,11 @@ EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
       if (options.randomized_local_broadcast) {
         RandomLocalBroadcast rlb(view, d, std::move(out.rumors),
                                  rng.fork(1000 + i));
-        sim = run_gossip(g, rlb, opts);
+        sim = dispatch_gossip(g, rlb, opts);
         out.rumors = rlb.take_rumors();
       } else {
         DtgLocalBroadcast dtg(view, d, std::move(out.rumors));
-        sim = run_gossip(g, dtg, opts);
+        sim = dispatch_gossip(g, dtg, opts);
         out.rumors = dtg.take_rumors();
       }
       phase.add(sim);
@@ -93,7 +93,7 @@ EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
     SimOptions rr_opts;
     rr_opts.max_rounds = rr.budget() + rr_k + 2;
     rr_opts.recorder = recorder;
-    const SimResult sim = run_gossip(g, rr, rr_opts);
+    const SimResult sim = dispatch_gossip(g, rr, rr_opts);
     phase.add(sim);
     out.sim.accumulate(sim);
     out.rumors = rr.take_rumors();
@@ -142,7 +142,7 @@ GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
       SimOptions opts;
       opts.max_rounds = rr.budget() + k + 2;
       if (obs) opts.recorder = obs->recorder;
-      SimResult sim = run_gossip(g, rr, opts);
+      SimResult sim = dispatch_gossip(g, rr, opts);
       return std::make_pair(rr.take_rumors(), sim);
     };
     const CheckOutcome check = run_termination_check(g, out.rumors, broadcast);

@@ -1,5 +1,7 @@
 #include "core/latency_discovery.h"
 
+#include "sim/dispatch.h"
+
 #include <stdexcept>
 
 #include "core/eid.h"
@@ -42,7 +44,7 @@ DiscoveryOutcome discover_latencies(const WeightedGraph& g,
   opts.max_rounds = static_cast<Round>(g.max_degree()) + wait_budget + 1;
   opts.stop_when_idle = false;  // run the full window
   DiscoveryOutcome out;
-  out.sim = run_gossip(g, probe, opts);
+  out.sim = dispatch_gossip(g, probe, opts);
   out.edge_latencies = probe.edge_latencies();
   for (const auto& lat : out.edge_latencies)
     if (lat.has_value()) ++out.edges_discovered;
@@ -83,7 +85,7 @@ UnknownLatencyEidOutcome run_unknown_latency_eid(const WeightedGraph& g,
       RRBroadcast rr(known, spanner, k, own_id_rumors(n));
       SimOptions opts;
       opts.max_rounds = rr.budget() + k + 2;
-      SimResult sim = run_gossip(g, rr, opts);
+      SimResult sim = dispatch_gossip(g, rr, opts);
       return std::make_pair(rr.take_rumors(), sim);
     };
     const CheckOutcome check = run_termination_check(g, out.rumors, broadcast);

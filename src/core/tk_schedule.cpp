@@ -8,7 +8,7 @@
 #include "core/rr_broadcast.h"
 #include "core/termination.h"
 #include "obs/metrics.h"
-#include "sim/engine.h"
+#include "sim/dispatch.h"
 
 namespace latgossip {
 
@@ -57,7 +57,7 @@ SimResult dtg_pass(const WeightedGraph& g, Latency ell,
   const auto logn = static_cast<Round>(ceil_log2(g.num_nodes()) + 2);
   opts.max_rounds = static_cast<Round>(ell) * 64 * logn * logn;
   if (obs) opts.recorder = obs->recorder;
-  const SimResult sim = run_gossip(g, dtg, opts);
+  const SimResult sim = dispatch_gossip(g, dtg, opts);
   phase.add(sim);
   rumors = dtg.take_rumors();
   return sim;

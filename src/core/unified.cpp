@@ -5,7 +5,7 @@
 #include "core/push_pull.h"
 #include "core/rr_broadcast.h"
 #include "obs/metrics.h"
-#include "sim/engine.h"
+#include "sim/dispatch.h"
 
 namespace latgossip {
 
@@ -24,7 +24,7 @@ UnifiedOutcome run_unified(const WeightedGraph& g,
     SimOptions opts;
     opts.max_rounds = options.push_pull_cap;
     if (options.obs) opts.recorder = options.obs->recorder;
-    const SimResult sim = run_gossip(g, pp, opts);
+    const SimResult sim = dispatch_gossip(g, pp, opts);
     phase.add(sim);
     out.push_pull_rounds = sim.rounds;
     out.push_pull_completed = sim.completed;

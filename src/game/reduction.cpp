@@ -6,7 +6,7 @@
 #include "core/flooding.h"
 #include "core/push_pull.h"
 #include "core/rr_broadcast.h"
-#include "sim/engine.h"
+#include "sim/dispatch.h"
 
 namespace latgossip {
 namespace {
@@ -57,7 +57,7 @@ ReductionResult drive(const GuessingGadget& gadget, Proto& proto,
   opts.on_activation = [&](NodeId, NodeId, EdgeId e, Round r) {
     feeder.on_activation(e, r, result);
   };
-  result.sim = run_gossip(gadget.graph, proto, opts);
+  result.sim = dispatch_gossip(gadget.graph, proto, opts);
   feeder.finish(result.sim.rounds, result);
   result.broadcast_completed = result.sim.completed;
   return result;

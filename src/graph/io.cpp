@@ -1,10 +1,12 @@
 #include "graph/io.h"
 
+#include <cstdint>
 #include <fstream>
-
-#include "graph/builder.h"
 #include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "graph/builder.h"
 
 namespace latgossip {
 namespace {
@@ -49,17 +51,42 @@ WeightedGraph read_graph(std::istream& in) {
   if (magic != kMagic) fail("bad magic '" + magic + "'");
   if (version != kVersion) fail("unsupported version");
   skip_noise(in);
-  std::size_t n = 0, m = 0;
+  // Sizes and ids are parsed SIGNED: extracting "-3" into an unsigned
+  // wraps silently instead of setting failbit, which would turn a
+  // negative id into a huge one and misreport the error.
+  std::int64_t n = 0, m = 0;
   if (!(in >> n >> m)) fail("missing size line");
-  GraphBuilder b(n);
-  for (std::size_t i = 0; i < m; ++i) {
+  if (n < 0 || m < 0) fail("negative size");
+  if (static_cast<std::uint64_t>(n) > static_cast<std::uint64_t>(kInvalidNode))
+    fail("too many nodes for 32-bit node ids");
+  const auto nn = static_cast<std::uint64_t>(n);
+  const std::uint64_t max_edges = nn <= 1 ? 0 : nn * (nn - 1) / 2;
+  if (static_cast<std::uint64_t>(m) > max_edges)
+    fail("edge count " + std::to_string(m) +
+         " exceeds a simple graph on " + std::to_string(n) + " nodes");
+  GraphBuilder b(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::string at = " at edge " + std::to_string(i);
     skip_noise(in);
-    std::uint64_t u = 0, v = 0;
+    std::int64_t u = 0, v = 0;
     Latency latency = 0;
-    if (!(in >> u >> v >> latency)) fail("truncated edge list");
-    if (u >= n || v >= n) fail("edge endpoint out of range");
-    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), latency);
+    if (!(in >> u >> v >> latency)) fail("truncated edge list" + at);
+    if (u < 0 || v < 0) fail("negative node id" + at);
+    if (u >= n || v >= n) fail("edge endpoint out of range" + at);
+    if (latency < 1)
+      fail("latency must be >= 1" + at + " (got " +
+           std::to_string(latency) + ")");
+    try {
+      b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), latency);
+    } catch (const std::exception& e) {
+      // Self-loops and duplicate edges, rejected by the builder —
+      // re-thrown with the offending edge's position attached.
+      fail(std::string(e.what()) + at);
+    }
   }
+  skip_noise(in);
+  if (in.peek() != std::istream::traits_type::eof())
+    fail("trailing garbage after edge list");
   return b.build();
 }
 

@@ -1,0 +1,28 @@
+#pragma once
+// Engine selection point for composite algorithm runners.
+//
+// The composite algorithms (EID, T(k), unified, latency discovery, the
+// guessing-game reduction, aggregation) drive their internal
+// simulations through dispatch_gossip() instead of calling run_gossip()
+// directly. In normal operation this is a single predictable branch in
+// front of the optimized engine; while a ScopedOracleEngine
+// (sim/oracle.h) is alive on the thread, every internal simulation is
+// routed through the naive reference oracle instead — which is how the
+// differential checker (src/check/) validates whole composite runs,
+// phases, recorders and all, without any test hooks inside the
+// algorithms themselves.
+
+#include "sim/engine.h"
+#include "sim/oracle.h"
+
+namespace latgossip {
+
+template <typename P>
+  requires GossipProtocol<P>
+SimResult dispatch_gossip(const WeightedGraph& g, P& proto,
+                          const SimOptions& opts = {}) {
+  if (oracle_engine_active()) return run_gossip_oracle(g, proto, opts);
+  return run_gossip(g, proto, opts);
+}
+
+}  // namespace latgossip

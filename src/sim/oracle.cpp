@@ -1,0 +1,34 @@
+#include "sim/oracle.h"
+
+namespace latgossip {
+
+namespace {
+// Depth, not a flag: differential drivers nest guards when they wrap a
+// composite runner that wraps another one.
+thread_local int g_oracle_depth = 0;
+}  // namespace
+
+bool oracle_engine_active() noexcept { return g_oracle_depth > 0; }
+
+ScopedOracleEngine::ScopedOracleEngine() noexcept { ++g_oracle_depth; }
+ScopedOracleEngine::~ScopedOracleEngine() { --g_oracle_depth; }
+
+namespace oracle_detail {
+
+std::optional<EdgeId> scan_for_edge(const WeightedGraph& g, NodeId u,
+                                    NodeId v) {
+  for (const HalfEdge& h : g.neighbors(u))
+    if (h.to == v) return h.edge;
+  return std::nullopt;
+}
+
+bool scan_adjacency_for(const WeightedGraph& g, NodeId u, NodeId v,
+                        EdgeId e) {
+  for (const HalfEdge& h : g.neighbors(u))
+    if (h.to == v && h.edge == e) return true;
+  return false;
+}
+
+}  // namespace oracle_detail
+
+}  // namespace latgossip

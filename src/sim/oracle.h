@@ -1,0 +1,261 @@
+#pragma once
+// Reference oracle: a deliberately naive, independently coded
+// implementation of the paper's Section-1 communication model, used to
+// differentially check the optimized engine (sim/engine.h).
+//
+// The oracle drives the same Protocol concept as run_gossip(), honors
+// the same SimOptions, and emits the same observable event stream
+// (activations / deliveries / drops through SimOptions::recorder), but
+// shares NO scheduling or adjacency machinery with the engine:
+//
+//   engine (run_gossip)              oracle (run_gossip_oracle)
+//   -------------------------------  --------------------------------
+//   calendar queue of delivery legs  flat in-flight exchange list,
+//   bucketed by due round            re-scanned in full every round
+//   O(log deg) CSR find_edge /       linear walk of the adjacency
+//   Contact edge-record validation   slice for every resolution
+//   compile-time NoHooks fast path   every hook tested dynamically on
+//   + hoisted recorder pointer       every event, always
+//   blocking via outstanding-        blocking via a linear scan of the
+//   exchange counters                in-flight list per initiation
+//   stamp-trick in-degree counters   per-round counter vector,
+//   (O(1) reset)                     reallocated every round
+//
+// If the two implementations ever disagree on a SimResult or an event
+// multiset fingerprint for the same protocol + seed, one of them has
+// drifted from the model. The check framework (src/check/) generates
+// random cases, compares both, and shrinks any divergence to a minimal
+// counterexample. See DESIGN.md §5f.
+//
+// Performance is a non-goal here: the oracle is O(rounds · (n + m +
+// in-flight)) per round and is only ever run on small property-test
+// instances.
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace latgossip {
+
+/// True while a ScopedOracleEngine is alive on this thread; composite
+/// algorithm runners (EID, T(k), unified, latency discovery) route
+/// their internal simulations through the oracle via dispatch_gossip()
+/// (sim/dispatch.h) when set.
+bool oracle_engine_active() noexcept;
+
+/// RAII guard selecting the reference oracle for every dispatch_gossip()
+/// call on this thread. Nests; the optimized engine is restored when the
+/// outermost guard dies. Used by the differential checker to run whole
+/// composite algorithms (run_eid, run_tk_schedule, run_unified) against
+/// the oracle without touching their code.
+class ScopedOracleEngine {
+ public:
+  ScopedOracleEngine() noexcept;
+  ~ScopedOracleEngine();
+  ScopedOracleEngine(const ScopedOracleEngine&) = delete;
+  ScopedOracleEngine& operator=(const ScopedOracleEngine&) = delete;
+};
+
+namespace oracle_detail {
+
+/// Deliberate model bugs, injectable ONLY by tests: the shrinker
+/// self-test (tests/shrink_test.cpp) plants a latency off-by-one here
+/// and asserts the check framework reduces the resulting divergence to
+/// a minimal counterexample. Never set outside tests.
+struct ModelBug {
+  /// Added to every exchange's effective latency (clamped to >= 1).
+  Latency latency_bias = 0;
+  /// Suppress the second (initiator-bound) delivery leg of every
+  /// exchange — turns the bidirectional exchange into a push.
+  bool drop_initiator_leg = false;
+
+  bool any() const noexcept { return latency_bias != 0 || drop_initiator_leg; }
+};
+
+/// Edge joining u and v found by a linear walk of u's adjacency slice
+/// (never find_edge's binary search — independence from the structure
+/// under test is the point).
+std::optional<EdgeId> scan_for_edge(const WeightedGraph& g, NodeId u,
+                                    NodeId v);
+
+/// Does u's adjacency slice contain exactly the half-edge (v, e)?
+/// Linear scan, same independence rationale.
+bool scan_adjacency_for(const WeightedGraph& g, NodeId u, NodeId v, EdgeId e);
+
+}  // namespace oracle_detail
+
+/// Reference simulation of `proto` over `g`: same contract, per-round
+/// order, and observable behavior as run_gossip() — deliveries due this
+/// round (responder leg then initiator leg, in exchange-creation
+/// order), done() check, contact selection in node-id order with
+/// payload snapshots taken immediately — implemented by brute force.
+template <typename P>
+  requires GossipProtocol<P>
+SimResult run_gossip_oracle(const WeightedGraph& g, P& proto,
+                            const SimOptions& opts = {},
+                            const oracle_detail::ModelBug& bug = {}) {
+  // One record per exchange (the engine keeps two per-leg records in a
+  // calendar queue; the oracle deliberately does not).
+  struct Exchange {
+    NodeId initiator = kInvalidNode;
+    NodeId responder = kInvalidNode;
+    EdgeId edge = kInvalidEdge;
+    Round started = 0;
+    Round completes = 0;
+    typename P::Payload to_responder;  ///< initiator's snapshot
+    typename P::Payload to_initiator;  ///< responder's snapshot
+  };
+
+  const std::size_t n = g.num_nodes();
+  SimResult result;
+  if (n == 0) {
+    result.completed = proto.done(0);
+    return result;
+  }
+
+  std::vector<Exchange> in_flight;
+
+  // One delivery leg, replicating the engine's fault semantics exactly:
+  // a leg whose either endpoint has crashed by `now` is a crash-drop;
+  // drop_delivery is consulted only for non-crashed legs (the hook may
+  // own random state, so call counts must match the engine's).
+  auto deliver_leg = [&](NodeId to, NodeId from, EdgeId edge, Round started,
+                         Round now, typename P::Payload&& payload) {
+    bool crashed = false;
+    if (opts.is_crashed && opts.is_crashed(to, now)) crashed = true;
+    if (!crashed && opts.is_crashed && opts.is_crashed(from, now))
+      crashed = true;
+    bool dropped = crashed;
+    if (!dropped && opts.drop_delivery)
+      dropped = opts.drop_delivery(to, from, edge, started, now);
+    if (dropped) {
+      ++result.messages_dropped;
+      if (opts.recorder)
+        opts.recorder->record_drop(to, from, edge, started, now, crashed);
+      return;
+    }
+    proto.deliver(to, from, std::move(payload), edge, started, now);
+    ++result.messages_delivered;
+    if (opts.recorder)
+      opts.recorder->record_delivery(to, from, edge, started, now);
+  };
+
+  for (Round r = 0; r <= opts.max_rounds; ++r) {
+    // 1. Deliver every exchange completing this round, in creation
+    // order (full scan of the in-flight list; the survivors are
+    // compacted into a fresh list — no bucketing, no reuse).
+    if (!in_flight.empty()) {
+      std::vector<Exchange> survivors;
+      survivors.reserve(in_flight.size());
+      for (Exchange& x : in_flight) {
+        if (x.completes != r) {
+          survivors.push_back(std::move(x));
+          continue;
+        }
+        deliver_leg(x.responder, x.initiator, x.edge, x.started, r,
+                    std::move(x.to_responder));
+        if (!bug.drop_initiator_leg)
+          deliver_leg(x.initiator, x.responder, x.edge, x.started, r,
+                      std::move(x.to_initiator));
+      }
+      in_flight = std::move(survivors);
+    }
+
+    // 2. Termination.
+    if (proto.done(r)) {
+      result.completed = true;
+      result.rounds = r;
+      return result;
+    }
+    if (r == opts.max_rounds) break;
+
+    // 3. Contact selection, node-id order. The per-round in-degree
+    // counters are freshly allocated every round (naive on purpose).
+    std::vector<std::size_t> incoming(
+        opts.max_incoming_per_round > 0 ? n : 0, 0);
+    bool any_selected = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (opts.is_crashed && opts.is_crashed(u, r)) continue;
+      if (opts.blocking) {
+        // Blocking model: u may not initiate while one of its own
+        // exchanges is still in flight — answered by scanning the list.
+        const bool busy =
+            std::any_of(in_flight.begin(), in_flight.end(),
+                        [&](const Exchange& x) { return x.initiator == u; });
+        if (busy) continue;
+      }
+
+      NodeId peer;
+      EdgeId edge;
+      if constexpr (detail::SelectsByContact<P>) {
+        const std::optional<Contact> c = proto.select_contact(u, r);
+        if (!c) continue;
+        peer = c->node;
+        edge = c->edge;
+        if (edge >= g.num_edges())
+          throw std::out_of_range("edge id out of range");
+        if (!oracle_detail::scan_adjacency_for(g, u, peer, edge))
+          throw std::logic_error(
+              "protocol selected a contact over a mismatched edge");
+      } else {
+        const std::optional<NodeId> target = proto.select_contact(u, r);
+        if (!target) continue;
+        peer = *target;
+        const auto e = oracle_detail::scan_for_edge(g, u, peer);
+        if (!e)
+          throw std::logic_error("protocol selected a non-neighbor contact");
+        edge = *e;
+      }
+      any_selected = true;
+      ++result.activations;
+      if (opts.on_activation) opts.on_activation(u, peer, edge, r);
+      if (opts.recorder) opts.recorder->record_activation(u, peer, edge, r);
+
+      if (opts.max_incoming_per_round > 0 &&
+          ++incoming[peer] > opts.max_incoming_per_round) {
+        ++result.exchanges_rejected;
+        continue;
+      }
+
+      Latency lat = g.edge(edge).latency;
+      if (opts.latency_jitter) {
+        lat = opts.latency_jitter(edge, lat);
+        if (lat < 1) lat = 1;
+      }
+      if (bug.latency_bias != 0)
+        lat = std::max<Latency>(1, lat + bug.latency_bias);
+
+      Exchange x;
+      x.initiator = u;
+      x.responder = peer;
+      x.edge = edge;
+      x.started = r;
+      x.completes = r + lat;
+      x.to_responder = proto.capture_payload(u, r);
+      x.to_initiator = proto.capture_payload(peer, r);
+      result.payload_bits += detail::payload_bits_of<P>(x.to_responder);
+      result.payload_bits += detail::payload_bits_of<P>(x.to_initiator);
+      in_flight.push_back(std::move(x));
+      // Two delivery legs per exchange, matching the engine's count.
+      result.max_inflight =
+          std::max(result.max_inflight, 2 * in_flight.size());
+    }
+
+    if (opts.stop_when_idle && !any_selected && in_flight.empty()) {
+      result.rounds = r;
+      result.completed = proto.done(r);
+      return result;
+    }
+  }
+
+  result.rounds = opts.max_rounds;
+  result.completed = false;
+  return result;
+}
+
+}  // namespace latgossip

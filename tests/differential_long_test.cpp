@@ -1,0 +1,36 @@
+// Long-tier differential sweep (ctest -L long; built only with
+// LATGOSSIP_LONG_TESTS=ON): the same engine-vs-oracle comparison as
+// differential_test.cpp, but over a wider case profile — more nodes,
+// larger latencies, many more cases — for the scheduled-CI budget
+// rather than the tier-1 budget.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "check/case_gen.h"
+#include "check/differential.h"
+
+namespace latgossip {
+namespace {
+
+TEST(DifferentialLong, WideProfileSweep) {
+  Rng rng(0xeadbeef);
+  CaseProfile profile;
+  profile.max_nodes = 24;
+  profile.max_latency = 17;
+  for (int i = 0; i < 10000; ++i) {
+    const TestCase tc = random_case(rng, profile);
+    ASSERT_TRUE(case_valid(tc)) << describe(tc);
+    const DiffReport rep = run_differential(tc);
+    if (!rep.ok) {
+      std::ostringstream os;
+      for (const std::string& f : rep.failures) os << "  " << f << "\n";
+      write_case(os, tc);
+      FAIL() << "divergence on " << describe(tc) << "\n" << os.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -1,0 +1,120 @@
+// Differential conformance: the optimized engine (sim/engine.h) vs the
+// naive reference oracle (sim/oracle.h) over thousands of random cases
+// spanning every protocol, graph family, latency model, and fault/model
+// knob the case generator knows. Any divergence in SimResult counters,
+// event-stream fingerprints, or composite outcomes fails with a full
+// reproducible case dump. The model invariants (check/invariants.h) run
+// on both sides of every case.
+
+#include <array>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "check/case_gen.h"
+#include "check/differential.h"
+
+namespace latgossip {
+namespace {
+
+std::string failure_dump(const TestCase& tc, const DiffReport& rep) {
+  std::ostringstream os;
+  os << "case: " << describe(tc) << "\n";
+  for (const std::string& f : rep.failures) os << "  " << f << "\n";
+  write_case(os, tc);
+  return os.str();
+}
+
+void sweep(Rng& rng, const CaseProfile& profile, int cases,
+           std::array<int, static_cast<std::size_t>(CheckProto::kCount)>*
+               per_proto = nullptr,
+           int* faulted = nullptr, int* fault_free = nullptr) {
+  for (int i = 0; i < cases; ++i) {
+    const TestCase tc = random_case(rng, profile);
+    ASSERT_TRUE(case_valid(tc)) << describe(tc);
+    const DiffReport rep = run_differential(tc);
+    ASSERT_TRUE(rep.ok) << failure_dump(tc, rep);
+    if (per_proto) ++(*per_proto)[static_cast<std::size_t>(tc.proto)];
+    if (faulted && tc.faults.any()) ++*faulted;
+    if (fault_free && !tc.faults.any()) ++*fault_free;
+  }
+}
+
+// The quick-profile sweep: >= 2000 random cases across all six
+// protocols, with and without faults, zero divergence tolerated.
+TEST(Differential, QuickProfileSweep) {
+  Rng rng(0x20260806);
+  std::array<int, static_cast<std::size_t>(CheckProto::kCount)> per_proto{};
+  int faulted = 0;
+  int fault_free = 0;
+  sweep(rng, CaseProfile{}, 2000, &per_proto, &faulted, &fault_free);
+
+  // The sweep must actually have covered the advertised space.
+  for (std::size_t p = 0; p < per_proto.size(); ++p)
+    EXPECT_GT(per_proto[p], 0)
+        << "protocol " << check_proto_name(static_cast<CheckProto>(p))
+        << " never generated";
+  EXPECT_GT(faulted, 50);
+  EXPECT_GT(fault_free, 50);
+}
+
+// Model-variant stress: every case runs blocking or in-degree-capped or
+// jittered (knob probabilities cranked via a biased profile is not
+// supported, so force the knobs directly on generated topologies).
+TEST(Differential, ForcedModelKnobs) {
+  Rng rng(7);
+  CaseProfile profile;
+  profile.composites = false;
+  for (int i = 0; i < 150; ++i) {
+    TestCase tc = random_case(rng, profile);
+    tc.blocking = (i % 3) == 0;
+    tc.max_incoming_per_round = (i % 3) == 1 ? 1 : 0;
+    tc.jitter_spread = (i % 3) == 2 ? 2 : 0;
+    const DiffReport rep = run_differential(tc);
+    ASSERT_TRUE(rep.ok) << failure_dump(tc, rep);
+  }
+}
+
+// The harness has teeth: an injected off-by-one latency bias in the
+// oracle must be flagged on any case that exchanges at least once.
+TEST(Differential, InjectedBugIsDetected) {
+  Rng rng(99);
+  CaseProfile profile;
+  profile.composites = false;
+  profile.allow_faults = false;
+  profile.allow_model_variants = false;
+  oracle_detail::ModelBug bug;
+  bug.latency_bias = 1;
+  int detected = 0;
+  for (int i = 0; i < 20; ++i) {
+    const TestCase tc = random_case(rng, profile);
+    const DiffReport rep = run_differential(tc, bug);
+    if (rep.engine_result.activations > 0) {
+      EXPECT_FALSE(rep.ok) << describe(tc);
+      if (!rep.ok) ++detected;
+    }
+  }
+  EXPECT_GT(detected, 10);
+}
+
+// Dropping the initiator-bound leg is the other injectable bug; it must
+// diverge on delivery counts, not crash.
+TEST(Differential, InjectedLegDropIsDetected) {
+  Rng rng(123);
+  CaseProfile profile;
+  profile.composites = false;
+  profile.allow_faults = false;
+  profile.allow_model_variants = false;
+  oracle_detail::ModelBug bug;
+  bug.drop_initiator_leg = true;
+  int detected = 0;
+  for (int i = 0; i < 20; ++i) {
+    const TestCase tc = random_case(rng, profile);
+    const DiffReport rep = run_differential(tc, bug);
+    if (rep.engine_result.messages_delivered > 0 && !rep.ok) ++detected;
+  }
+  EXPECT_GT(detected, 10);
+}
+
+}  // namespace
+}  // namespace latgossip

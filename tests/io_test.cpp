@@ -66,6 +66,17 @@ TEST(GraphIo, CommentsAndWhitespaceTolerated) {
   EXPECT_EQ(g.latency(*g.find_edge(1, 2)), 7);
 }
 
+/// Parse `text` expecting failure; return the exception message.
+std::string parse_error(const std::string& text) {
+  try {
+    graph_from_string(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse failure for: " << text;
+  return "";
+}
+
 TEST(GraphIo, RejectsMalformedInput) {
   EXPECT_THROW(graph_from_string(""), std::runtime_error);
   EXPECT_THROW(graph_from_string("wrong-magic 1\n1 0\n"),
@@ -76,6 +87,55 @@ TEST(GraphIo, RejectsMalformedInput) {
                std::runtime_error);  // endpoint out of range
   EXPECT_THROW(graph_from_string("latgossip-graph 1\n2 2\n0 1 1\n"),
                std::runtime_error);  // truncated
+}
+
+TEST(GraphIo, RejectsBadLatencies) {
+  EXPECT_NE(parse_error("latgossip-graph 1\n2 1\n0 1 0\n")
+                .find("latency must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("latgossip-graph 1\n2 1\n0 1 -3\n")
+                .find("latency must be >= 1"),
+            std::string::npos);
+  // The failing edge's position is part of the message.
+  EXPECT_NE(parse_error("latgossip-graph 1\n3 2\n0 1 4\n1 2 0\n")
+                .find("at edge 1"),
+            std::string::npos);
+}
+
+TEST(GraphIo, RejectsNegativeIdsAndSizes) {
+  EXPECT_NE(parse_error("latgossip-graph 1\n-2 1\n0 1 1\n")
+                .find("negative size"),
+            std::string::npos);
+  EXPECT_NE(parse_error("latgossip-graph 1\n2 -1\n").find("negative size"),
+            std::string::npos);
+  EXPECT_NE(parse_error("latgossip-graph 1\n2 1\n-1 1 1\n")
+                .find("negative node id"),
+            std::string::npos);
+}
+
+TEST(GraphIo, RejectsDuplicateAndSelfLoopEdges) {
+  const std::string dup = parse_error(
+      "latgossip-graph 1\n3 3\n0 1 2\n1 2 2\n1 0 5\n");
+  EXPECT_NE(dup.find("at edge 2"), std::string::npos) << dup;
+  EXPECT_THROW(graph_from_string("latgossip-graph 1\n3 1\n1 1 2\n"),
+               std::runtime_error);  // self-loop
+}
+
+TEST(GraphIo, RejectsImpossibleEdgeCount) {
+  // 3 nodes admit at most 3 simple edges.
+  EXPECT_NE(parse_error("latgossip-graph 1\n3 4\n0 1 1\n0 2 1\n1 2 1\n")
+                .find("exceeds a simple graph"),
+            std::string::npos);
+}
+
+TEST(GraphIo, RejectsTrailingGarbage) {
+  EXPECT_NE(parse_error("latgossip-graph 1\n2 1\n0 1 1\nsurprise\n")
+                .find("trailing garbage"),
+            std::string::npos);
+  // Trailing comments and whitespace remain fine.
+  const WeightedGraph g = graph_from_string(
+      "latgossip-graph 1\n2 1\n0 1 1\n# trailing comment\n\n");
+  EXPECT_EQ(g.num_edges(), 1u);
 }
 
 TEST(GraphIo, FileRoundTrip) {
