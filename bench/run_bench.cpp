@@ -6,13 +6,18 @@
 // so successive PRs can track the engine's throughput trajectory:
 //
 //   ./run_bench [--out=BENCH_engine.json] [--graph_out=BENCH_graph.json]
-//               [--repeats=5]
+//               [--repeats=5] [--smoke]
 //
 // The emitted files also carry pre-overhaul baselines recorded on the
 // seed binaries (same machine class), so every regeneration shows
 // before/after side by side: BENCH_engine.json against the
-// pre-calendar-queue engine, BENCH_graph.json against the pre-CSR
+// pre-calendar-queue engine and (for the rumor-set rows) against the
+// pre-snapshot-arena protocols, BENCH_graph.json against the pre-CSR
 // adjacency-list WeightedGraph with its unordered_map edge index.
+//
+// --smoke is the CI bench-rot guard: every workload runs once at tiny
+// sizes and nothing is written, so the bench binary itself is exercised
+// on every PR without touching the checked-in JSON numbers.
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "analysis/distance.h"
+#include "core/eid.h"
 #include "core/push_pull.h"
 #include "graph/generators.h"
 #include "graph/latency_models.h"
@@ -51,6 +57,20 @@ constexpr Baseline kPrePrBaseline[] = {
     {"pushpull_broadcast_512", 1248112.0},
     {"pushpull_broadcast_4096", 22624514.0},
     {"pushpull_alltoall_512", 4673565.0},
+};
+
+/// Pre-snapshot-arena numbers: the deep-copy Bitset payload protocols
+/// (full rumor-set copy on every capture, count() re-scan per
+/// delivery), RelWithDebInfo without -mpopcnt (the pre-COW build),
+/// this machine, measured with this harness from a pre-COW checkout in
+/// the same time window as the committed current_ns block — this box's
+/// throughput drifts 10–25% between sessions, so cross-window ratios
+/// would be noise.
+constexpr Baseline kPreCowBaseline[] = {
+    {"pushpull_alltoall_512", 4386534.0},
+    {"pushpull_alltoall_4096", 365926906.0},
+    {"eid_alltoall", 136102186.0},
+    {"run_trials_8x4096_t1", 62377881.0},
 };
 
 /// Pre-CSR graph numbers: the seed WeightedGraph (vector-of-vectors
@@ -97,11 +117,21 @@ struct Case {
   double ns;
 };
 
-/// Emit one snapshot file: baseline block, current block, and the
-/// speedup ratios for every case that has a baseline counterpart.
+/// One named before-numbers block: "<ns_key>" object plus a
+/// "<speedup_key>" ratio object covering every case with a counterpart.
+struct BaselineBlock {
+  const char* ns_key;
+  const char* speedup_key;
+  const Baseline* rows;
+  std::size_t count;
+};
+
+/// Emit one snapshot file: the baseline blocks, the current block, and
+/// per-block speedup ratios.
 int write_json(const std::string& out, const char* bench,
-               const char* workload, int repeats, const Baseline* baseline,
-               std::size_t baseline_count, const std::vector<Case>& cases) {
+               const char* workload, int repeats,
+               const std::vector<BaselineBlock>& baselines,
+               const std::vector<Case>& cases) {
   FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out.c_str());
@@ -112,32 +142,37 @@ int write_json(const std::string& out, const char* bench,
   std::fprintf(f, "  \"build\": %s,\n", build_info_json().c_str());
   std::fprintf(f, "  \"workload\": \"%s\",\n", workload);
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
-  std::fprintf(f, "  \"baseline_pre_pr_ns\": {\n");
-  for (std::size_t i = 0; i < baseline_count; ++i)
-    std::fprintf(f, "    \"%s\": %.0f%s\n", baseline[i].name, baseline[i].ns,
-                 i + 1 < baseline_count ? "," : "");
-  std::fprintf(f, "  },\n");
+  for (const BaselineBlock& b : baselines) {
+    std::fprintf(f, "  \"%s\": {\n", b.ns_key);
+    for (std::size_t i = 0; i < b.count; ++i)
+      std::fprintf(f, "    \"%s\": %.0f%s\n", b.rows[i].name, b.rows[i].ns,
+                   i + 1 < b.count ? "," : "");
+    std::fprintf(f, "  },\n");
+  }
   std::fprintf(f, "  \"current_ns\": {\n");
   for (std::size_t i = 0; i < cases.size(); ++i)
     std::fprintf(f, "    \"%s\": %.0f%s\n", cases[i].name.c_str(),
                  cases[i].ns, i + 1 < cases.size() ? "," : "");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"speedup_vs_pre_pr\": {\n");
-  bool first = true;
-  std::string speedups;
-  for (std::size_t i = 0; i < baseline_count; ++i) {
-    for (const Case& c : cases) {
-      if (c.name == baseline[i].name) {
-        if (!first) speedups += ",\n";
-        first = false;
-        char buf[128];
-        std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", baseline[i].name,
-                      baseline[i].ns / c.ns);
-        speedups += buf;
+  std::fprintf(f, "  }");
+  for (const BaselineBlock& b : baselines) {
+    std::fprintf(f, ",\n  \"%s\": {\n", b.speedup_key);
+    bool first = true;
+    std::string speedups;
+    for (std::size_t i = 0; i < b.count; ++i) {
+      for (const Case& c : cases) {
+        if (c.name == b.rows[i].name) {
+          if (!first) speedups += ",\n";
+          first = false;
+          char buf[128];
+          std::snprintf(buf, sizeof(buf), "    \"%s\": %.2f", b.rows[i].name,
+                        b.rows[i].ns / c.ns);
+          speedups += buf;
+        }
       }
     }
+    std::fprintf(f, "%s\n  }", speedups.c_str());
   }
-  std::fprintf(f, "%s\n  }\n}\n", speedups.c_str());
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 
   std::printf("%s throughput snapshot (%d repeats each):\n", bench, repeats);
@@ -147,30 +182,33 @@ int write_json(const std::string& out, const char* bench,
   return 0;
 }
 
-/// Graph-substrate primitives on the 16-dimensional hypercube (65536
-/// nodes, 524288 edges): build, random find_edge probes, a full
-/// adjacency sweep, and the two traversals layered on neighbors().
-std::vector<Case> run_graph_cases(int repeats) {
+/// Graph-substrate primitives on the `dim`-dimensional hypercube
+/// (dim 16: 65536 nodes, 524288 edges; --smoke drops to dim 8): build,
+/// random find_edge probes, a full adjacency sweep, and the two
+/// traversals layered on neighbors().
+std::vector<Case> run_graph_cases(int repeats, std::size_t dim,
+                                  int find_edge_probes) {
   std::vector<Case> cases;
+  const std::string suffix = "_hypercube" + std::to_string(dim);
   Rng grng(1);
-  auto g = make_hypercube(16);
+  auto g = make_hypercube(dim);
   assign_random_uniform_latency(g, 1, 8, grng);
   const std::size_t n = g.num_nodes();
 
-  cases.push_back({"graph_build_hypercube16", measure_ns(
-                                                  [&] {
-                                                    auto gg = make_hypercube(16);
-                                                    volatile auto m =
-                                                        gg.num_edges();
-                                                    (void)m;
-                                                  },
-                                                  std::max(repeats / 2, 2))});
-  cases.push_back({"find_edge_hypercube16",
+  cases.push_back({"graph_build" + suffix, measure_ns(
+                                               [&] {
+                                                 auto gg = make_hypercube(dim);
+                                                 volatile auto m =
+                                                     gg.num_edges();
+                                                 (void)m;
+                                               },
+                                               std::max(repeats / 2, 2))});
+  cases.push_back({"find_edge" + suffix,
                    measure_ns(
                        [&] {
                          Rng r(7);
                          std::size_t acc = 0;
-                         for (int i = 0; i < 1'000'000; ++i) {
+                         for (int i = 0; i < find_edge_probes; ++i) {
                            if (i & 1) {
                              const Edge& e = g.edges()[r.uniform(g.num_edges())];
                              acc += g.find_edge(e.u, e.v).value();
@@ -184,7 +222,7 @@ std::vector<Case> run_graph_cases(int repeats) {
                          (void)a;
                        },
                        repeats)});
-  cases.push_back({"neighbor_scan_hypercube16",
+  cases.push_back({"neighbor_scan" + suffix,
                    measure_ns(
                        [&] {
                          std::size_t acc = 0;
@@ -196,20 +234,19 @@ std::vector<Case> run_graph_cases(int repeats) {
                          (void)a;
                        },
                        repeats)});
-  cases.push_back({"bfs_hypercube16", measure_ns(
-                                          [&] {
-                                            volatile auto h =
-                                                bfs_hops(g, 0).back();
-                                            (void)h;
-                                          },
-                                          repeats)});
-  cases.push_back({"dijkstra_hypercube16", measure_ns(
-                                               [&] {
-                                                 volatile auto d =
-                                                     dijkstra(g, 0).back();
-                                                 (void)d;
-                                               },
-                                               repeats)});
+  cases.push_back({"bfs" + suffix, measure_ns(
+                                       [&] {
+                                         volatile auto h = bfs_hops(g, 0).back();
+                                         (void)h;
+                                       },
+                                       repeats)});
+  cases.push_back({"dijkstra" + suffix, measure_ns(
+                                            [&] {
+                                              volatile auto d =
+                                                  dijkstra(g, 0).back();
+                                              (void)d;
+                                            },
+                                            repeats)});
   return cases;
 }
 
@@ -217,14 +254,25 @@ std::vector<Case> run_graph_cases(int repeats) {
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.allow_only({"out", "graph_out", "repeats"});
+  args.allow_only({"out", "graph_out", "repeats", "smoke"});
   const std::string out = args.get("out", "BENCH_engine.json");
   const std::string graph_out = args.get("graph_out", "BENCH_graph.json");
-  const int repeats = static_cast<int>(args.get_int("repeats", 5));
+  const bool smoke = args.get_bool("smoke");
+  const int repeats = smoke ? 1 : static_cast<int>(args.get_int("repeats", 5));
+
+  // Smoke mode shrinks every workload to seconds-total CI size.
+  const std::vector<std::size_t> broadcast_sizes =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{64, 512, 4096};
+  const std::size_t big_n = smoke ? 64 : 4096;
+  const std::size_t a2a_small_n = smoke ? 64 : 512;
+  const std::size_t eid_n = smoke ? 64 : 256;
+  const std::size_t trials_small = smoke ? 4 : 16;
+  const std::size_t trials_big = smoke ? 4 : 8;
 
   std::vector<Case> cases;
 
-  for (std::size_t n : {64u, 512u, 4096u}) {
+  for (std::size_t n : broadcast_sizes) {
     const WeightedGraph g = bench_graph(n);
     std::uint64_t seed = 0;
     cases.push_back({"pushpull_broadcast_" + std::to_string(n),
@@ -240,10 +288,10 @@ int main(int argc, char** argv) {
   }
 
   {
-    const WeightedGraph g = bench_graph(4096);
+    const WeightedGraph g = bench_graph(big_n);
     std::uint64_t seed = 0;
     std::size_t sink = 0;
-    cases.push_back({"pushpull_broadcast_4096_hooked",
+    cases.push_back({"pushpull_broadcast_" + std::to_string(big_n) + "_hooked",
                      measure_ns(
                          [&] {
                            NetworkView view(g, false);
@@ -262,31 +310,36 @@ int main(int argc, char** argv) {
     // keeps storage — the per-thread steady state of run_trials and the
     // CLI). This is the recording-overhead number the observability
     // work bounds at <= 25% of plain.
-    const WeightedGraph g = bench_graph(4096);
+    const WeightedGraph g = bench_graph(big_n);
     std::uint64_t seed = 0;
     EventRecorder recorder;
-    cases.push_back({"pushpull_broadcast_4096_recorded",
-                     measure_ns(
-                         [&] {
-                           recorder.clear();
-                           NetworkView view(g, false);
-                           PushPullBroadcast proto(view, 0, Rng(++seed));
-                           SimOptions opts;
-                           opts.max_rounds = 1'000'000;
-                           opts.recorder = &recorder;
-                           SimResult r = run_gossip(g, proto, opts);
-                           r.fingerprint = recorder.fingerprint();
-                           volatile auto fp = r.fingerprint;
-                           (void)fp;
-                         },
-                         repeats)});
+    cases.push_back(
+        {"pushpull_broadcast_" + std::to_string(big_n) + "_recorded",
+         measure_ns(
+             [&] {
+               recorder.clear();
+               NetworkView view(g, false);
+               PushPullBroadcast proto(view, 0, Rng(++seed));
+               SimOptions opts;
+               opts.max_rounds = 1'000'000;
+               opts.recorder = &recorder;
+               SimResult r = run_gossip(g, proto, opts);
+               r.fingerprint = recorder.fingerprint();
+               volatile auto fp = r.fingerprint;
+               (void)fp;
+             },
+             repeats)});
   }
 
-  {
-    const std::size_t n = 512;
+  // All-to-all rumor-set rows: the copy-on-write snapshot payload path
+  // (util/snapshot.h). Payload volume scales with n * rounds, so these
+  // are the rows the snapshot arena exists for.
+  std::vector<std::size_t> a2a_sizes{a2a_small_n};
+  if (big_n != a2a_small_n) a2a_sizes.push_back(big_n);
+  for (std::size_t n : a2a_sizes) {
     const WeightedGraph g = bench_graph(n);
     std::uint64_t seed = 0;
-    cases.push_back({"pushpull_alltoall_512",
+    cases.push_back({"pushpull_alltoall_" + std::to_string(n),
                      measure_ns(
                          [&] {
                            NetworkView view(g, false);
@@ -298,12 +351,34 @@ int main(int argc, char** argv) {
                            (void)run_gossip(g, proto, opts);
                          },
                          repeats)});
+  }
+
+  {
+    // End-to-end General EID (guess-and-double, DTG discovery, spanner,
+    // RR broadcast): every phase moves rumor-set payloads, so this is
+    // the composite all-to-all number.
+    const std::size_t n = eid_n;
+    Rng grng(1);
+    auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
+    assign_random_uniform_latency(g, 1, 8, grng);
+    std::uint64_t seed = 0;
+    cases.push_back({"eid_alltoall", measure_ns(
+                                         [&] {
+                                           Rng rng(++seed);
+                                           (void)run_general_eid(g, n, rng);
+                                         },
+                                         repeats)});
+  }
+
+  {
+    const WeightedGraph g = bench_graph(a2a_small_n);
     for (std::size_t threads : {1u, 2u, 4u}) {
       cases.push_back(
-          {"run_trials_16x512_t" + std::to_string(threads),
+          {"run_trials_" + std::to_string(trials_small) + "x" +
+               std::to_string(a2a_small_n) + "_t" + std::to_string(threads),
            measure_ns(
                [&] {
-                 (void)run_trials(16, threads, 99,
+                 (void)run_trials(trials_small, threads, 99,
                                   [&g](std::size_t, Rng rng) {
                                     NetworkView view(g, false);
                                     PushPullBroadcast proto(view, 0, rng);
@@ -316,17 +391,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (big_n != a2a_small_n) {
+    // Bigger per-trial work: thread scaling on trials long enough that
+    // per-trial arena management is noise.
+    const WeightedGraph g = bench_graph(big_n);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      cases.push_back(
+          {"run_trials_" + std::to_string(trials_big) + "x" +
+               std::to_string(big_n) + "_t" + std::to_string(threads),
+           measure_ns(
+               [&] {
+                 (void)run_trials(trials_big, threads, 99,
+                                  [&g](std::size_t, Rng rng) {
+                                    NetworkView view(g, false);
+                                    PushPullBroadcast proto(view, 0, rng);
+                                    SimOptions opts;
+                                    opts.max_rounds = 1'000'000;
+                                    return run_gossip(g, proto, opts);
+                                  });
+               },
+               repeats)});
+    }
+  }
+
+  const std::vector<BaselineBlock> engine_baselines = {
+      {"baseline_pre_pr_ns", "speedup_vs_pre_pr", kPrePrBaseline,
+       std::size(kPrePrBaseline)},
+      {"baseline_pre_cow_ns", "speedup_vs_pre_cow", kPreCowBaseline,
+       std::size(kPreCowBaseline)},
+  };
+  const std::vector<Case> graph_cases =
+      run_graph_cases(repeats, smoke ? 8 : 16, smoke ? 100'000 : 1'000'000);
+
+  if (smoke) {
+    // Bench-rot guard: everything above ran; write nothing.
+    std::printf("smoke mode: %zu engine + %zu graph cases ran, no JSON "
+                "written\n",
+                cases.size(), graph_cases.size());
+    return 0;
+  }
+
   const int engine_rc = write_json(
       out, "engine",
       "erdos_renyi avg-degree 8, latencies uniform[1,8], push-pull from "
       "node 0",
-      repeats, kPrePrBaseline, std::size(kPrePrBaseline), cases);
+      repeats, engine_baselines, cases);
   if (engine_rc != 0) return engine_rc;
 
-  const std::vector<Case> graph_cases = run_graph_cases(repeats);
+  const std::vector<BaselineBlock> graph_baselines = {
+      {"baseline_pre_csr_ns", "speedup_vs_pre_csr", kPreCsrBaseline,
+       std::size(kPreCsrBaseline)},
+  };
   return write_json(
       graph_out, "graph",
       "hypercube dim 16 (65536 nodes, 524288 edges), latencies "
       "uniform[1,8]; 1M mixed find_edge probes, full adjacency sweep",
-      repeats, kPreCsrBaseline, std::size(kPreCsrBaseline), graph_cases);
+      repeats, graph_baselines, graph_cases);
 }

@@ -105,6 +105,8 @@ const char* check_proto_name(CheckProto p) {
     case CheckProto::kPushPull: return "pushpull";
     case CheckProto::kPushOnly: return "pushonly";
     case CheckProto::kFlooding: return "flooding";
+    case CheckProto::kGossipAllToAll: return "gossip_a2a";
+    case CheckProto::kGossipLocal: return "gossip_local";
     case CheckProto::kUnified: return "unified";
     case CheckProto::kEid: return "eid";
     case CheckProto::kTk: return "tk";
@@ -120,8 +122,9 @@ bool check_proto_is_composite(CheckProto p) {
 
 TestCase random_case(Rng& rng, const CaseProfile& profile) {
   TestCase tc;
-  const std::uint64_t proto_pool =
-      profile.composites ? static_cast<std::uint64_t>(CheckProto::kCount) : 3;
+  // Non-composite protocols are the contiguous prefix [0, kUnified).
+  const std::uint64_t proto_pool = static_cast<std::uint64_t>(
+      profile.composites ? CheckProto::kCount : CheckProto::kUnified);
   tc.proto = static_cast<CheckProto>(rng.uniform(proto_pool));
 
   const std::size_t span = profile.max_nodes - profile.min_nodes + 1;

@@ -23,12 +23,14 @@
 namespace latgossip {
 
 enum class CheckProto : std::uint8_t {
-  kPushPull = 0,  ///< PushPullBroadcast (single-source rumor)
-  kPushOnly,      ///< PushOnlyBroadcast
-  kFlooding,      ///< RoundRobinFlooding, single-source goal
-  kUnified,       ///< run_unified (both branches)
-  kEid,           ///< run_general_eid (guess-and-double + check)
-  kTk,            ///< run_tk_schedule
+  kPushPull = 0,    ///< PushPullBroadcast (single-source rumor)
+  kPushOnly,        ///< PushOnlyBroadcast
+  kFlooding,        ///< RoundRobinFlooding, single-source goal
+  kGossipAllToAll,  ///< PushPullGossip, all-to-all goal (rumor sets)
+  kGossipLocal,     ///< PushPullGossip, local-broadcast goal (rumor sets)
+  kUnified,         ///< run_unified (both branches)
+  kEid,             ///< run_general_eid (guess-and-double + check)
+  kTk,              ///< run_tk_schedule
   kCount,
 };
 

@@ -82,6 +82,23 @@ RunArtifacts run_simple_once(const TestCase& tc, const WeightedGraph& g,
       a.result = drive(proto);
       break;
     }
+    // Rumor-set goals exercise the copy-on-write snapshot payload path
+    // (util/snapshot.h) against the oracle's naive deep-copy captures —
+    // any stale or aliased snapshot shows up as a divergence here.
+    case CheckProto::kGossipAllToAll: {
+      PushPullGossip proto(view, GossipGoal::kAllToAll, tc.source,
+                           PushPullGossip::own_id_rumors(tc.num_nodes),
+                           Rng(tc.seed));
+      a.result = drive(proto);
+      break;
+    }
+    case CheckProto::kGossipLocal: {
+      PushPullGossip proto(view, GossipGoal::kLocalBroadcast, tc.source,
+                           PushPullGossip::own_id_rumors(tc.num_nodes),
+                           Rng(tc.seed));
+      a.result = drive(proto);
+      break;
+    }
     default:
       throw std::logic_error("run_simple_once: composite protocol");
   }

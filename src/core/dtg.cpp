@@ -7,7 +7,10 @@ namespace latgossip {
 
 DtgLocalBroadcast::DtgLocalBroadcast(const NetworkView& view, Latency ell,
                                      std::vector<Bitset> initial_rumors)
-    : view_(view), ell_(ell) {
+    : view_(view),
+      ell_(ell),
+      data_snaps_(view.num_nodes(), view.num_nodes()),
+      session_snaps_(view.num_nodes(), view.num_nodes()) {
   if (!view.latencies_known())
     throw std::invalid_argument(
         "DTG requires the known-latency model (a node must know which "
@@ -17,12 +20,14 @@ DtgLocalBroadcast::DtgLocalBroadcast(const NetworkView& view, Latency ell,
   if (initial_rumors.size() != n)
     throw std::invalid_argument("DTG: rumor vector size mismatch");
   master_ = std::move(initial_rumors);
+  master_count_.assign(n, 0);
   ell_neighbors_.resize(n);
   state_.reserve(n);
   for (NodeId u = 0; u < n; ++u) {
     if (master_[u].size() != n)
       throw std::invalid_argument("DTG: rumor bitset size mismatch");
     master_[u].set(u);
+    master_count_[u] = master_[u].count();
     for (const HalfEdge& h : view.neighbors(u))
       if (view.latency(h.edge) <= ell) ell_neighbors_[u].push_back(h.to);
     std::sort(ell_neighbors_[u].begin(), ell_neighbors_[u].end());
@@ -30,9 +35,12 @@ DtgLocalBroadcast::DtgLocalBroadcast(const NetworkView& view, Latency ell,
     st.linked_set = Bitset(n);
     st.session = Bitset(n);
     st.session.set(u);  // R = {v}
+    st.session_count = 1;
     st.work_data = master_[u];
+    st.work_data_count = master_count_[u];
     st.work_session = Bitset(n);
     st.work_session.set(u);
+    st.work_session_count = 1;
     state_.push_back(std::move(st));
   }
   active_count_ = n;
@@ -53,8 +61,12 @@ bool DtgLocalBroadcast::covered(NodeId u) const {
 void DtgLocalBroadcast::reset_work(NodeId u) {
   NodeState& st = state_[u];
   st.work_data = master_[u];  // R' = {v}: v's (compound) rumor
+  st.work_data_count = master_count_[u];
   st.work_session.clear();
   st.work_session.set(u);
+  st.work_session_count = 1;
+  data_snaps_.invalidate(u);
+  session_snaps_.invalidate(u);
 }
 
 bool DtgLocalBroadcast::start_iteration(NodeId u) {
@@ -92,6 +104,10 @@ std::optional<NodeId> DtgLocalBroadcast::select_contact(NodeId u, Round r) {
     if (covered(u) || !start_iteration(u)) {
       st.active = false;
       --active_count_;
+      // The capture source switches from the working pair to
+      // (master, session); drop any cached working-pair snapshots.
+      data_snaps_.invalidate(u);
+      session_snaps_.invalidate(u);
       return std::nullopt;
     }
   }
@@ -133,23 +149,52 @@ std::optional<NodeId> DtgLocalBroadcast::select_contact(NodeId u, Round r) {
 }
 
 DtgLocalBroadcast::Payload DtgLocalBroadcast::capture_payload(NodeId u,
-                                                              Round) const {
+                                                              Round) {
   // Active nodes transmit their pipelined working pair (the behavior
   // the O(log^2 n) analysis relies on); finished nodes answer with all
   // they know.
   const NodeState& st = state_[u];
-  if (st.active) return Payload{st.work_data, st.work_session};
-  return Payload{master_[u], st.session};
+  if (st.active)
+    return Payload{data_snaps_.shared(u, st.work_data, st.work_data_count),
+                   session_snaps_.shared(u, st.work_session,
+                                         st.work_session_count)};
+  return Payload{data_snaps_.shared(u, master_[u], master_count_[u]),
+                 session_snaps_.shared(u, st.session, st.session_count)};
+}
+
+DtgLocalBroadcast::Payload DtgLocalBroadcast::capture_payload_copy(NodeId u,
+                                                                   Round) {
+  const NodeState& st = state_[u];
+  if (st.active)
+    return Payload{data_snaps_.fresh(st.work_data, st.work_data_count),
+                   session_snaps_.fresh(st.work_session,
+                                        st.work_session_count)};
+  return Payload{data_snaps_.fresh(master_[u], master_count_[u]),
+                 session_snaps_.fresh(st.session, st.session_count)};
 }
 
 void DtgLocalBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
                                 Round, Round) {
   NodeState& st = state_[u];
-  master_[u] |= payload.data;
-  st.session |= payload.session;
+  const Bitset::OrDelta dm = master_[u].or_assign_changed(payload.data.bits());
+  master_count_[u] += dm.added;
+  const Bitset::OrDelta ds =
+      st.session.or_assign_changed(payload.session.bits());
+  st.session_count += ds.added;
   if (st.active) {
-    st.work_data |= payload.data;
-    st.work_session |= payload.session;
+    const Bitset::OrDelta dw =
+        st.work_data.or_assign_changed(payload.data.bits());
+    st.work_data_count += dw.added;
+    const Bitset::OrDelta dws =
+        st.work_session.or_assign_changed(payload.session.bits());
+    st.work_session_count += dws.added;
+    // Active captures read the working pair.
+    if (dw.changed) data_snaps_.invalidate(u);
+    if (dws.changed) session_snaps_.invalidate(u);
+  } else {
+    // Finished captures read (master, session).
+    if (dm.changed) data_snaps_.invalidate(u);
+    if (ds.changed) session_snaps_.invalidate(u);
   }
 }
 

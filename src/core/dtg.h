@@ -40,14 +40,18 @@
 
 #include "sim/engine.h"
 #include "util/bitset.h"
+#include "util/snapshot.h"
 
 namespace latgossip {
 
 class DtgLocalBroadcast {
  public:
+  /// Both components are copy-on-write snapshot handles
+  /// (util/snapshot.h): a node whose working pair is unchanged since
+  /// its last capture hands out the same immutable snapshots again.
   struct Payload {
-    Bitset data;     ///< union of accumulated rumor sets
-    Bitset session;  ///< nodes whose this-invocation rumor is included
+    SnapshotRef data;     ///< union of accumulated rumor sets
+    SnapshotRef session;  ///< nodes whose this-invocation rumor is included
   };
 
   static std::size_t payload_bits(const Payload& p) {
@@ -62,7 +66,9 @@ class DtgLocalBroadcast {
   static std::vector<Bitset> own_id_rumors(std::size_t n);
 
   std::optional<NodeId> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r) const;
+  Payload capture_payload(NodeId u, Round r);
+  /// Naive deep-copy capture for the reference oracle (sim/oracle.h).
+  Payload capture_payload_copy(NodeId u, Round r);
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
   bool done(Round r) const;
@@ -83,6 +89,9 @@ class DtgLocalBroadcast {
     Bitset session;              ///< R: this-invocation rumors received
     Bitset work_data;            ///< R'/R'' data content
     Bitset work_session;         ///< R'/R'' session content
+    std::size_t session_count = 0;       ///< popcount of `session`
+    std::size_t work_data_count = 0;     ///< popcount of `work_data`
+    std::size_t work_session_count = 0;  ///< popcount of `work_session`
     Phase phase = Phase::kPush1;
     std::size_t step = 0;        ///< position within the current phase
     bool active = true;
@@ -99,7 +108,10 @@ class DtgLocalBroadcast {
   Latency ell_;
   std::vector<std::vector<NodeId>> ell_neighbors_;  ///< sorted by id
   std::vector<Bitset> master_;
+  std::vector<std::size_t> master_count_;  ///< incremental popcounts
   std::vector<NodeState> state_;
+  SnapshotCache data_snaps_;
+  SnapshotCache session_snaps_;
   std::size_t active_count_ = 0;
   std::size_t max_iteration_ = 0;
 };

@@ -11,13 +11,20 @@ RoundRobinFlooding::RoundRobinFlooding(const NetworkView& view,
       goal_(goal),
       source_(source),
       rumors_(std::move(initial_rumors)),
+      rumor_count_(view.num_nodes(), 0),
+      snapshots_(view.num_nodes(), view.num_nodes()),
       next_neighbor_(view.num_nodes(), 0),
       satisfied_(view.num_nodes(), false) {
   if (rumors_.size() != view.num_nodes())
     throw std::invalid_argument("flooding: rumor vector size mismatch");
   if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
     throw std::invalid_argument("flooding: bad source");
-  for (NodeId u = 0; u < view.num_nodes(); ++u) refresh_satisfied(u);
+  for (NodeId u = 0; u < view.num_nodes(); ++u) {
+    if (rumors_[u].size() != view.num_nodes())
+      throw std::invalid_argument("flooding: rumor bitset size mismatch");
+    rumor_count_[u] = rumors_[u].count();
+    refresh_satisfied(u);
+  }
 }
 
 std::optional<NodeId> RoundRobinFlooding::select_contact(NodeId u, Round) {
@@ -28,13 +35,22 @@ std::optional<NodeId> RoundRobinFlooding::select_contact(NodeId u, Round) {
   return target;
 }
 
-Bitset RoundRobinFlooding::capture_payload(NodeId u, Round) const {
-  return rumors_[u];
+RoundRobinFlooding::Payload RoundRobinFlooding::capture_payload(NodeId u,
+                                                                Round) {
+  return snapshots_.shared(u, rumors_[u], rumor_count_[u]);
+}
+
+RoundRobinFlooding::Payload RoundRobinFlooding::capture_payload_copy(NodeId u,
+                                                                     Round) {
+  return snapshots_.fresh(rumors_[u], rumor_count_[u]);
 }
 
 void RoundRobinFlooding::deliver(NodeId u, NodeId, Payload payload, EdgeId,
                                  Round, Round) {
-  rumors_[u] |= payload;
+  const Bitset::OrDelta delta = rumors_[u].or_assign_changed(payload.bits());
+  if (!delta.changed) return;
+  rumor_count_[u] += delta.added;
+  snapshots_.invalidate(u);
   if (!satisfied_[u]) refresh_satisfied(u);
 }
 
@@ -47,7 +63,7 @@ bool RoundRobinFlooding::node_satisfied(NodeId u) const {
     case GossipGoal::kSingleSource:
       return rumors_[u].test(source_);
     case GossipGoal::kAllToAll:
-      return rumors_[u].count() == view_.num_nodes();
+      return rumor_count_[u] == view_.num_nodes();
     case GossipGoal::kLocalBroadcast:
       for (const HalfEdge& h : view_.neighbors(u))
         if (!rumors_[u].test(h.to)) return false;

@@ -12,12 +12,14 @@
 #include "core/push_pull.h"
 #include "sim/engine.h"
 #include "util/bitset.h"
+#include "util/snapshot.h"
 
 namespace latgossip {
 
 class RoundRobinFlooding {
  public:
-  using Payload = Bitset;
+  /// Copy-on-write snapshot handle — see PushPullGossip::Payload.
+  using Payload = SnapshotRef;
 
   RoundRobinFlooding(const NetworkView& view, GossipGoal goal, NodeId source,
                      std::vector<Bitset> initial_rumors);
@@ -25,7 +27,9 @@ class RoundRobinFlooding {
   static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
 
   std::optional<NodeId> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r) const;
+  Payload capture_payload(NodeId u, Round r);
+  /// Naive deep-copy capture for the reference oracle (sim/oracle.h).
+  Payload capture_payload_copy(NodeId u, Round r);
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
   bool done(Round r) const;
@@ -40,6 +44,8 @@ class RoundRobinFlooding {
   GossipGoal goal_;
   NodeId source_;
   std::vector<Bitset> rumors_;
+  std::vector<std::size_t> rumor_count_;  ///< incremental popcounts
+  SnapshotCache snapshots_;
   std::vector<std::size_t> next_neighbor_;
   std::vector<bool> satisfied_;
   std::size_t satisfied_count_ = 0;

@@ -18,27 +18,6 @@ PushPullBroadcast::PushPullBroadcast(const NetworkView& view, NodeId source,
   inform_round_[source] = 0;
 }
 
-std::optional<Contact> PushPullBroadcast::select_contact(NodeId u, Round) {
-  const auto neigh = view_.neighbors(u);
-  if (neigh.empty()) return std::nullopt;
-  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
-  return Contact{h.to, h.edge};
-}
-
-bool PushPullBroadcast::capture_payload(NodeId u, Round) const {
-  return informed_.test(u);
-}
-
-void PushPullBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
-                                Round, Round now) {
-  if (payload && !informed_.test(u)) {
-    informed_.set(u);
-    inform_round_[u] = now;
-  }
-}
-
-bool PushPullBroadcast::done(Round) const { return informed_.all_set(); }
-
 BiasedPushPullBroadcast::BiasedPushPullBroadcast(const NetworkView& view,
                                                  NodeId source, double rho,
                                                  Rng rng)
@@ -100,6 +79,8 @@ PushPullGossip::PushPullGossip(const NetworkView& view, GossipGoal goal,
       source_(source),
       rng_(rng),
       rumors_(std::move(initial_rumors)),
+      rumor_count_(view.num_nodes(), 0),
+      snapshots_(view.num_nodes(), view.num_nodes()),
       satisfied_(view.num_nodes(), false) {
   if (rumors_.size() != view.num_nodes())
     throw std::invalid_argument("push-pull: rumor vector size mismatch");
@@ -108,6 +89,7 @@ PushPullGossip::PushPullGossip(const NetworkView& view, GossipGoal goal,
   for (NodeId u = 0; u < view.num_nodes(); ++u) {
     if (rumors_[u].size() != view.num_nodes())
       throw std::invalid_argument("push-pull: rumor bitset size mismatch");
+    rumor_count_[u] = rumors_[u].count();
     refresh_satisfied(u);
   }
 }
@@ -118,33 +100,12 @@ std::vector<Bitset> PushPullGossip::own_id_rumors(std::size_t n) {
   return r;
 }
 
-std::optional<Contact> PushPullGossip::select_contact(NodeId u, Round) {
-  const auto neigh = view_.neighbors(u);
-  if (neigh.empty()) return std::nullopt;
-  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
-  return Contact{h.to, h.edge};
-}
-
-Bitset PushPullGossip::capture_payload(NodeId u, Round) const {
-  return rumors_[u];
-}
-
-void PushPullGossip::deliver(NodeId u, NodeId, Payload payload, EdgeId,
-                             Round, Round) {
-  rumors_[u] |= payload;
-  if (!satisfied_[u]) refresh_satisfied(u);
-}
-
-bool PushPullGossip::done(Round) const {
-  return satisfied_count_ == satisfied_.size();
-}
-
 bool PushPullGossip::node_satisfied(NodeId u) const {
   switch (goal_) {
     case GossipGoal::kSingleSource:
       return rumors_[u].test(source_);
     case GossipGoal::kAllToAll:
-      return rumors_[u].count() == view_.num_nodes();
+      return rumor_count_[u] == view_.num_nodes();
     case GossipGoal::kLocalBroadcast:
       for (const HalfEdge& h : view_.neighbors(u))
         if (!rumors_[u].test(h.to)) return false;

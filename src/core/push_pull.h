@@ -18,6 +18,7 @@
 #include "sim/engine.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/snapshot.h"
 
 namespace latgossip {
 
@@ -93,7 +94,10 @@ class BiasedPushPullBroadcast {
 
 class PushPullGossip {
  public:
-  using Payload = Bitset;
+  /// Copy-on-write snapshot handle (util/snapshot.h): capture re-copies
+  /// a node's rumor set only after it changed, and scheduling/delivery
+  /// move refcounted pointers instead of heap-copying n-bit sets.
+  using Payload = SnapshotRef;
 
   /// `initial_rumors[u]` is u's starting rumor set; for the usual case
   /// use own_id_rumors(). `source` is only meaningful for
@@ -103,17 +107,28 @@ class PushPullGossip {
 
   static std::vector<Bitset> own_id_rumors(std::size_t n);
 
-  /// Rumor sets cost ~32 bits per carried rumor id.
+  /// Rumor sets cost ~32 bits per carried rumor id. The count is cached
+  /// on the snapshot — no per-payload word re-scan.
   static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
 
   std::optional<Contact> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r) const;
+  Payload capture_payload(NodeId u, Round r);
+  /// Naive always-deep-copy capture; the reference oracle uses this so
+  /// differential sweeps prove snapshot sharing ≡ copy-at-capture.
+  Payload capture_payload_copy(NodeId u, Round r);
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
+  /// Warm u's rumor words + count ahead of deliver(u, ...) — called by
+  /// the engine one delivery ahead (sim/engine.h).
+  void prefetch_deliver(NodeId u) const noexcept;
   bool done(Round r) const;
 
   const std::vector<Bitset>& rumors() const { return rumors_; }
   std::vector<Bitset> take_rumors() { return std::move(rumors_); }
+
+  /// Arena statistics (allocated/pooled blocks, copies performed) —
+  /// instrumentation for tests and perf probes.
+  const SnapshotArena& snapshot_arena() const { return snapshots_.arena(); }
 
  private:
   bool node_satisfied(NodeId u) const;
@@ -124,8 +139,84 @@ class PushPullGossip {
   NodeId source_;
   Rng rng_;
   std::vector<Bitset> rumors_;
+  /// rumors_[u].count(), maintained incrementally from deliver()'s
+  /// OrDelta — the all-to-all done() check never re-popcounts.
+  std::vector<std::size_t> rumor_count_;
+  SnapshotCache snapshots_;
   std::vector<bool> satisfied_;
   std::size_t satisfied_count_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Hot-path definitions. select/capture/deliver run tens of thousands of
+// times per simulated second; defining them here (instead of the .cpp)
+// lets them inline into run_gossip_impl's event loop — without LTO a
+// cross-TU call would block that.
+
+inline std::optional<Contact> PushPullBroadcast::select_contact(NodeId u,
+                                                               Round) {
+  const auto neigh = view_.neighbors(u);
+  if (neigh.empty()) return std::nullopt;
+  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
+  return Contact{h.to, h.edge};
+}
+
+inline bool PushPullBroadcast::capture_payload(NodeId u, Round) const {
+  return informed_.test(u);
+}
+
+inline void PushPullBroadcast::deliver(NodeId u, NodeId, Payload payload,
+                                       EdgeId, Round, Round now) {
+  if (payload && !informed_.test(u)) {
+    informed_.set(u);
+    inform_round_[u] = now;
+  }
+}
+
+inline bool PushPullBroadcast::done(Round) const { return informed_.all_set(); }
+
+inline std::optional<Contact> PushPullGossip::select_contact(NodeId u, Round) {
+  const auto neigh = view_.neighbors(u);
+  if (neigh.empty()) return std::nullopt;
+  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
+  return Contact{h.to, h.edge};
+}
+
+inline PushPullGossip::Payload PushPullGossip::capture_payload(NodeId u,
+                                                               Round) {
+  return snapshots_.shared(u, rumors_[u], rumor_count_[u]);
+}
+
+inline PushPullGossip::Payload PushPullGossip::capture_payload_copy(NodeId u,
+                                                                    Round) {
+  return snapshots_.fresh(rumors_[u], rumor_count_[u]);
+}
+
+inline void PushPullGossip::deliver(NodeId u, NodeId, Payload payload, EdgeId,
+                                    Round, Round) {
+  // A receiver that already holds every rumor cannot gain from any
+  // payload; returning before the union avoids touching the payload's
+  // (usually cold) snapshot words in the late all-to-all rounds, where
+  // most deliveries are no-ops.
+  if (rumor_count_[u] == rumors_.size()) return;
+  const Bitset::OrDelta delta = rumors_[u].or_assign_changed(payload.bits());
+  if (!delta.changed) return;
+  rumor_count_[u] += delta.added;
+  snapshots_.invalidate(u);
+  if (!satisfied_[u]) refresh_satisfied(u);
+}
+
+inline void PushPullGossip::prefetch_deliver(NodeId u) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(&rumor_count_[u], 0, 1);
+  const auto w = rumors_[u].words();
+  __builtin_prefetch(w.data(), /*rw=*/1, /*locality=*/1);
+  __builtin_prefetch(reinterpret_cast<const char*>(w.data()) + 64, 1, 1);
+#endif
+}
+
+inline bool PushPullGossip::done(Round) const {
+  return satisfied_count_ == satisfied_.size();
+}
 
 }  // namespace latgossip

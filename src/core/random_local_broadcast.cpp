@@ -9,7 +9,11 @@ RandomLocalBroadcast::RandomLocalBroadcast(const NetworkView& view,
                                            Latency ell,
                                            std::vector<Bitset> initial_rumors,
                                            Rng rng)
-    : view_(view), ell_(ell), rng_(rng) {
+    : view_(view),
+      ell_(ell),
+      rng_(rng),
+      data_snaps_(view.num_nodes(), view.num_nodes()),
+      session_snaps_(view.num_nodes(), view.num_nodes()) {
   if (!view.latencies_known())
     throw std::invalid_argument(
         "random local broadcast requires the known-latency model");
@@ -19,6 +23,8 @@ RandomLocalBroadcast::RandomLocalBroadcast(const NetworkView& view,
   if (initial_rumors.size() != n)
     throw std::invalid_argument("random local broadcast: rumor size mismatch");
   master_ = std::move(initial_rumors);
+  master_count_.assign(n, 0);
+  session_count_.assign(n, 1);
   ell_neighbors_.resize(n);
   session_.reserve(n);
   active_.assign(n, true);
@@ -27,6 +33,7 @@ RandomLocalBroadcast::RandomLocalBroadcast(const NetworkView& view,
       throw std::invalid_argument(
           "random local broadcast: rumor bitset size mismatch");
     master_[u].set(u);
+    master_count_[u] = master_[u].count();
     for (const HalfEdge& h : view.neighbors(u))
       if (view.latency(h.edge) <= ell) ell_neighbors_[u].push_back(h.to);
     Bitset s(n);
@@ -64,15 +71,27 @@ std::optional<NodeId> RandomLocalBroadcast::select_contact(NodeId u,
   return missing[rng_.uniform(missing.size())];
 }
 
-RandomLocalBroadcast::Payload RandomLocalBroadcast::capture_payload(
-    NodeId u, Round) const {
-  return Payload{master_[u], session_[u]};
+RandomLocalBroadcast::Payload RandomLocalBroadcast::capture_payload(NodeId u,
+                                                                    Round) {
+  return Payload{data_snaps_.shared(u, master_[u], master_count_[u]),
+                 session_snaps_.shared(u, session_[u], session_count_[u])};
+}
+
+RandomLocalBroadcast::Payload RandomLocalBroadcast::capture_payload_copy(
+    NodeId u, Round) {
+  return Payload{data_snaps_.fresh(master_[u], master_count_[u]),
+                 session_snaps_.fresh(session_[u], session_count_[u])};
 }
 
 void RandomLocalBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId,
                                    Round, Round) {
-  master_[u] |= payload.data;
-  session_[u] |= payload.session;
+  const Bitset::OrDelta dm = master_[u].or_assign_changed(payload.data.bits());
+  master_count_[u] += dm.added;
+  if (dm.changed) data_snaps_.invalidate(u);
+  const Bitset::OrDelta ds =
+      session_[u].or_assign_changed(payload.session.bits());
+  session_count_[u] += ds.added;
+  if (ds.changed) session_snaps_.invalidate(u);
   if (active_[u] && covered(u)) {
     active_[u] = false;
     --active_count_;

@@ -25,14 +25,16 @@
 #include "sim/engine.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/snapshot.h"
 
 namespace latgossip {
 
 class RandomLocalBroadcast {
  public:
+  /// Copy-on-write snapshot handles — see DtgLocalBroadcast::Payload.
   struct Payload {
-    Bitset data;
-    Bitset session;
+    SnapshotRef data;
+    SnapshotRef session;
   };
 
   static std::size_t payload_bits(const Payload& p) {
@@ -45,7 +47,9 @@ class RandomLocalBroadcast {
   static std::vector<Bitset> own_id_rumors(std::size_t n);
 
   std::optional<NodeId> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r) const;
+  Payload capture_payload(NodeId u, Round r);
+  /// Naive deep-copy capture for the reference oracle (sim/oracle.h).
+  Payload capture_payload_copy(NodeId u, Round r);
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
   bool done(Round r) const;
@@ -62,6 +66,10 @@ class RandomLocalBroadcast {
   std::vector<std::vector<NodeId>> ell_neighbors_;
   std::vector<Bitset> master_;
   std::vector<Bitset> session_;
+  std::vector<std::size_t> master_count_;   ///< incremental popcounts
+  std::vector<std::size_t> session_count_;  ///< incremental popcounts
+  SnapshotCache data_snaps_;
+  SnapshotCache session_snaps_;
   std::vector<bool> active_;
   std::size_t active_count_ = 0;
 };

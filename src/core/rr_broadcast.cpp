@@ -9,7 +9,10 @@ RRBroadcast::RRBroadcast(const NetworkView& view,
                          const DirectedGraph& overlay, Latency k,
                          std::vector<Bitset> initial_rumors,
                          Round budget_override)
-    : k_(k), rumors_(std::move(initial_rumors)) {
+    : k_(k),
+      rumors_(std::move(initial_rumors)),
+      rumor_count_(view.num_nodes(), 0),
+      snapshots_(view.num_nodes(), view.num_nodes()) {
   if (k < 1) throw std::invalid_argument("RR broadcast: k must be >= 1");
   const std::size_t n = view.num_nodes();
   if (overlay.num_nodes() != n)
@@ -22,6 +25,7 @@ RRBroadcast::RRBroadcast(const NetworkView& view,
     if (rumors_[u].size() != n)
       throw std::invalid_argument("RR broadcast: rumor bitset size mismatch");
     rumors_[u].set(u);
+    rumor_count_[u] = rumors_[u].count();
     for (const Arc& a : overlay.out_arcs(u))
       if (a.latency <= k) out_targets_[u].push_back(a.to);
     max_out = std::max(max_out, out_targets_[u].size());
@@ -38,13 +42,20 @@ std::optional<NodeId> RRBroadcast::select_contact(NodeId u, Round r) {
   return targets[static_cast<std::size_t>(r) % targets.size()];
 }
 
-Bitset RRBroadcast::capture_payload(NodeId u, Round) const {
-  return rumors_[u];
+RRBroadcast::Payload RRBroadcast::capture_payload(NodeId u, Round) {
+  return snapshots_.shared(u, rumors_[u], rumor_count_[u]);
+}
+
+RRBroadcast::Payload RRBroadcast::capture_payload_copy(NodeId u, Round) {
+  return snapshots_.fresh(rumors_[u], rumor_count_[u]);
 }
 
 void RRBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId, Round,
                           Round) {
-  rumors_[u] |= payload;
+  const Bitset::OrDelta delta = rumors_[u].or_assign_changed(payload.bits());
+  if (!delta.changed) return;
+  rumor_count_[u] += delta.added;
+  snapshots_.invalidate(u);
 }
 
 bool RRBroadcast::done(Round r) const {

@@ -13,12 +13,14 @@
 #include "graph/digraph.h"
 #include "sim/engine.h"
 #include "util/bitset.h"
+#include "util/snapshot.h"
 
 namespace latgossip {
 
 class RRBroadcast {
  public:
-  using Payload = Bitset;
+  /// Copy-on-write snapshot handle — see PushPullGossip::Payload.
+  using Payload = SnapshotRef;
 
   /// `k` caps both which arcs are used (latency <= k) and the iteration
   /// budget. `budget_override`, if nonzero, replaces the default
@@ -30,7 +32,9 @@ class RRBroadcast {
   static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
 
   std::optional<NodeId> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r) const;
+  Payload capture_payload(NodeId u, Round r);
+  /// Naive deep-copy capture for the reference oracle (sim/oracle.h).
+  Payload capture_payload_copy(NodeId u, Round r);
   void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
                Round now);
   bool done(Round r) const;
@@ -44,6 +48,8 @@ class RRBroadcast {
   Round budget_ = 0;
   std::vector<std::vector<NodeId>> out_targets_;  ///< filtered, per node
   std::vector<Bitset> rumors_;
+  std::vector<std::size_t> rumor_count_;  ///< incremental popcounts
+  SnapshotCache snapshots_;
 };
 
 /// Fresh rumor sets where each node knows only its own id.

@@ -37,7 +37,12 @@
 //    otherwise, so hook-free runs pay zero test-and-branch per event;
 //  * protocols that already know which half-edge they picked can return
 //    a Contact{node, edge} and skip the per-activation find_edge() hash
-//    lookup; the plain NodeId return stays supported.
+//    lookup; the plain NodeId return stays supported;
+//  * payloads are obtained through the PayloadTraits hook below:
+//    rumor-set protocols capture copy-on-write snapshot handles
+//    (util/snapshot.h) so scheduling an exchange is allocation-free in
+//    steady state, while bool/struct payloads keep the plain by-value
+//    path (DESIGN.md §5g).
 
 #include <algorithm>
 #include <concepts>
@@ -135,7 +140,57 @@ concept GossipProtocol =
     } &&
     (detail::SelectsByContact<P> || detail::SelectsByNodeId<P>);
 
+/// Payload-traits hook: how a driver obtains payload snapshots from a
+/// protocol. The Delivery records below hold `P::Payload` by value, so
+/// protocols whose Payload is a cheap shared handle (util/snapshot.h:
+/// copy = refcount bump) schedule and deliver without touching the
+/// heap, while `bool`/struct payloads keep today's by-value path with
+/// zero overhead — the hook costs nothing when unspecialized.
+///
+/// capture() is the production path (run_gossip). capture_private() is
+/// the reference path (run_gossip_oracle): a protocol whose
+/// capture_payload() returns shared copy-on-write snapshots may expose
+///     Payload capture_payload_copy(NodeId u, Round r)
+/// returning an always-fresh private deep copy; the oracle then stays
+/// on naive full copies, so every engine-vs-oracle differential case
+/// (src/check/) doubles as a proof that snapshot sharing is
+/// observationally equivalent to copy-at-capture. Protocols without
+/// the extra method are captured identically on both sides.
+template <typename P>
+struct PayloadTraits {
+  static typename P::Payload capture(P& proto, NodeId u, Round r) {
+    return proto.capture_payload(u, r);
+  }
+  static typename P::Payload capture_private(P& proto, NodeId u, Round r) {
+    if constexpr (requires {
+                    {
+                      proto.capture_payload_copy(u, r)
+                    } -> std::same_as<typename P::Payload>;
+                  }) {
+      return proto.capture_payload_copy(u, r);
+    } else {
+      return proto.capture_payload(u, r);
+    }
+  }
+};
+
 namespace detail {
+
+/// Payloads that expose prefetch() (SnapshotRef: warm the snapshot
+/// block's cache lines) get prefetched one delivery ahead in the due
+/// loop; for everything else this compiles to nothing. Protocols may
+/// additionally expose prefetch_deliver(NodeId) to warm the receiver's
+/// per-node state (the union destination) the same way.
+template <typename P>
+inline void prefetch_payload(const typename P::Payload& pay) {
+  if constexpr (requires { pay.prefetch(); }) pay.prefetch();
+}
+
+template <typename P>
+inline void prefetch_receiver(const P& proto, NodeId to) {
+  if constexpr (requires { proto.prefetch_deliver(to); })
+    proto.prefetch_deliver(to);
+}
 
 template <typename P>
 std::size_t payload_bits_of(const typename P::Payload& pay) {
@@ -253,6 +308,17 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
   std::vector<Round> slot_due(capacity, -1);
   std::size_t mask = capacity - 1;
   std::size_t inflight = 0;
+  // Pre-size every bucket to the dense steady state (each round schedules
+  // at most 2n legs, and doubling growth would land a busy bucket at ~2n
+  // anyway). Buckets are run-local, so without this every run re-pays the
+  // geometric regrow churn — for all-to-all it is a measurable slice of
+  // wall time. Reserved-but-untouched pages cost nothing physical; the
+  // cap keeps the virtual footprint polite at very large n.
+  {
+    const std::size_t bucket_hint =
+        std::min<std::size_t>(2 * n, std::size_t{1} << 16);
+    for (auto& slot : slots) slot.reserve(bucket_hint);
+  }
 
   auto grow = [&](std::size_t need) {
     std::size_t new_capacity = capacity;
@@ -294,7 +360,12 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
     // this slot is due exactly at r (see the capacity invariant above).
     auto& due = slots[static_cast<std::size_t>(r) & mask];
     if (!due.empty()) {
-      for (auto& d : due) {
+      for (std::size_t i = 0; i < due.size(); ++i) {
+        if (i + 1 < due.size()) {
+          detail::prefetch_payload<P>(due[i + 1].payload);
+          detail::prefetch_receiver(proto, due[i + 1].to);
+        }
+        auto& d = due[i];
         if (opts.blocking && d.to_initiator) {
           // The response leg completes the initiator's round trip even
           // if its content is lost.
@@ -393,9 +464,18 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
             grow(static_cast<std::size_t>(lat) + 1);
         }
       }
+#if defined(__GNUC__) || defined(__clang__)
+      // Issue the write-allocate for the target bucket's tail while the
+      // payload captures below run; the two push_backs then land on a
+      // warm line instead of stalling on a read-for-ownership miss.
+      {
+        const auto& tgt = slots[static_cast<std::size_t>(r + lat) & mask];
+        __builtin_prefetch(tgt.data() + tgt.size(), /*rw=*/1, /*locality=*/1);
+      }
+#endif
       // Initiator's snapshot travels to the responder and vice versa.
-      auto push = proto.capture_payload(u, r);
-      auto pull = proto.capture_payload(peer, r);
+      auto push = PayloadTraits<P>::capture(proto, u, r);
+      auto pull = PayloadTraits<P>::capture(proto, peer, r);
       result.payload_bits += detail::payload_bits_of<P>(push);
       result.payload_bits += detail::payload_bits_of<P>(pull);
       schedule(r + lat, Delivery{peer, u, edge, r, /*to_initiator=*/false,

@@ -20,6 +20,15 @@
 //   exchange counters                in-flight list per initiation
 //   stamp-trick in-degree counters   per-round counter vector,
 //   (O(1) reset)                     reallocated every round
+//   shared copy-on-write payload     naive private deep copy per
+//   snapshots (PayloadTraits::       capture (PayloadTraits::
+//   capture)                         capture_private)
+//
+// The payload row is load-bearing for the COW snapshot work (DESIGN.md
+// §5g): the oracle deliberately stays on full copy-at-capture, so any
+// stale-snapshot bug in a protocol's dirty-bit bookkeeping shows up as
+// an engine-vs-oracle divergence instead of silently corrupting both
+// sides the same way.
 //
 // If the two implementations ever disagree on a SimResult or an event
 // multiset fingerprint for the same protocol + seed, one of them has
@@ -236,8 +245,8 @@ SimResult run_gossip_oracle(const WeightedGraph& g, P& proto,
       x.edge = edge;
       x.started = r;
       x.completes = r + lat;
-      x.to_responder = proto.capture_payload(u, r);
-      x.to_initiator = proto.capture_payload(peer, r);
+      x.to_responder = PayloadTraits<P>::capture_private(proto, u, r);
+      x.to_initiator = PayloadTraits<P>::capture_private(proto, peer, r);
       result.payload_bits += detail::payload_bits_of<P>(x.to_responder);
       result.payload_bits += detail::payload_bits_of<P>(x.to_initiator);
       in_flight.push_back(std::move(x));

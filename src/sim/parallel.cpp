@@ -34,29 +34,46 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
   agg.wall_ms.resize(num_trials, 0.0);
   if (num_trials == 0) return agg;
 
-  auto timed_trial = [&](std::size_t t) {
-    const auto start = std::chrono::steady_clock::now();
-    agg.trials[t] = make_trial(t, Rng(trial_seed(seed, t)));
-    const auto stop = std::chrono::steady_clock::now();
-    agg.wall_ms[t] =
-        std::chrono::duration<double, std::milli>(stop - start).count();
-  };
-
   threads = std::min(resolve_threads(threads), num_trials);
   if (threads <= 1) {
-    for (std::size_t t = 0; t < num_trials; ++t) timed_trial(t);
+    for (std::size_t t = 0; t < num_trials; ++t) {
+      const auto start = std::chrono::steady_clock::now();
+      agg.trials[t] = make_trial(t, Rng(trial_seed(seed, t)));
+      const auto stop = std::chrono::steady_clock::now();
+      agg.wall_ms[t] =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+    }
   } else {
-    // Work-stealing over trial indices; each worker writes only its own
-    // pre-sized slot, so no result synchronization is needed.
+    // Work-stealing over trial indices. Workers append into per-thread
+    // arenas instead of writing the shared pre-sized `trials`/`wall_ms`
+    // vectors directly: adjacent SimResult/double slots claimed by
+    // different workers share cache lines, and the resulting false
+    // sharing throttles scaling exactly when trials are short. Results
+    // are placed into their trial-order slots after the join, so
+    // aggregation stays bit-identical for any thread count.
+    struct TrialSlot {
+      std::size_t trial;
+      SimResult result;
+      double wall_ms;
+    };
+    std::vector<std::vector<TrialSlot>> arenas(threads);
     std::atomic<std::size_t> next{0};
     std::exception_ptr error;
     std::mutex error_mutex;
-    auto worker = [&]() {
+    auto worker = [&](std::size_t w) {
+      std::vector<TrialSlot>& mine = arenas[w];
+      mine.reserve(num_trials / threads + 1);
       while (true) {
         const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
         if (t >= num_trials) return;
         try {
-          timed_trial(t);
+          const auto start = std::chrono::steady_clock::now();
+          SimResult r = make_trial(t, Rng(trial_seed(seed, t)));
+          const auto stop = std::chrono::steady_clock::now();
+          mine.push_back(TrialSlot{
+              t, std::move(r),
+              std::chrono::duration<double, std::milli>(stop - start)
+                  .count()});
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
@@ -67,9 +84,14 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
     };
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker, i);
     for (auto& th : pool) th.join();
     if (error) std::rethrow_exception(error);
+    for (std::vector<TrialSlot>& arena : arenas)
+      for (TrialSlot& slot : arena) {
+        agg.trials[slot.trial] = std::move(slot.result);
+        agg.wall_ms[slot.trial] = slot.wall_ms;
+      }
   }
 
   // Sequential aggregation in trial order: thread-count independent.

@@ -10,10 +10,12 @@
 //  * each trial's RNG is derived from (seed, trial index) alone by
 //    SplitMix64 seed-splitting — no shared random state, so trial t sees
 //    the same stream no matter which thread runs it;
-//  * results land in a pre-sized vector slot indexed by trial, and the
-//    util/stats accumulators are filled sequentially in trial order
-//    after the workers join — bit-identical aggregates for any thread
-//    count (covered by tests/parallel_test.cpp).
+//  * workers accumulate results in per-thread arenas (no false sharing
+//    on adjacent slots of a shared vector); after the join the arenas
+//    are scattered into trial-order slots and the util/stats
+//    accumulators are filled sequentially in trial order — bit-identical
+//    aggregates for any thread count (covered by
+//    tests/parallel_test.cpp).
 //
 // The trial callback must be thread-safe: treat everything it captures
 // (typically the graph) as const and keep all mutable state local.

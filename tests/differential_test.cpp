@@ -40,8 +40,10 @@ void sweep(Rng& rng, const CaseProfile& profile, int cases,
   }
 }
 
-// The quick-profile sweep: >= 2000 random cases across all six
-// protocols, with and without faults, zero divergence tolerated.
+// The quick-profile sweep: >= 2000 random cases across all eight
+// protocols (including the rumor-set goals that exercise the
+// copy-on-write snapshot payloads), with and without faults, zero
+// divergence tolerated.
 TEST(Differential, QuickProfileSweep) {
   Rng rng(0x20260806);
   std::array<int, static_cast<std::size_t>(CheckProto::kCount)> per_proto{};

@@ -12,15 +12,12 @@ namespace latgossip {
 namespace {
 
 SimResult run_flood(const WeightedGraph& g, GossipGoal goal,
-                    RoundRobinFlooding* out_proto = nullptr,
                     Round max_rounds = 200'000) {
   NetworkView view(g, false);
   RoundRobinFlooding proto(view, goal, 0, own_id_rumors(g.num_nodes()));
   SimOptions opts;
   opts.max_rounds = max_rounds;
-  const SimResult r = run_gossip(g, proto, opts);
-  if (out_proto != nullptr) *out_proto = proto;
-  return r;
+  return run_gossip(g, proto, opts);
 }
 
 TEST(Flooding, AllToAllOnPath) {

@@ -119,6 +119,38 @@ TEST(PushPullGossip, SingleSourceGoalStopsEarly) {
   EXPECT_LE(rs.rounds, ra.rounds);
 }
 
+TEST(PushPullGossip, CapturesShareSnapshotsUntilStateChanges) {
+  const auto g = make_clique(8);
+  NetworkView view(g, false);
+  PushPullGossip proto(view, GossipGoal::kAllToAll, 0,
+                       PushPullGossip::own_id_rumors(8), Rng(5));
+
+  // Unchanged state: repeated captures hand out the same block.
+  const PushPullGossip::Payload a = proto.capture_payload(3, 0);
+  const PushPullGossip::Payload b = proto.capture_payload(3, 1);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.count(), 1u);
+
+  // A delivery that adds rumors invalidates node 3's cached snapshot;
+  // the old snapshot stays immutable.
+  proto.deliver(3, 5, proto.capture_payload(5, 1), 0, 1, 2);
+  const PushPullGossip::Payload c = proto.capture_payload(3, 2);
+  EXPECT_NE(c.id(), a.id());
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_TRUE(c.bits().test(5));
+  EXPECT_FALSE(a.bits().test(5));
+
+  // A delivery that adds nothing new keeps the cached snapshot.
+  proto.deliver(3, 5, proto.capture_payload(5, 2), 0, 2, 3);
+  const PushPullGossip::Payload d = proto.capture_payload(3, 3);
+  EXPECT_EQ(d.id(), c.id());
+
+  // The oracle's naive path always deep-copies, same contents.
+  const PushPullGossip::Payload e = proto.capture_payload_copy(3, 3);
+  EXPECT_NE(e.id(), d.id());
+  EXPECT_TRUE(e.bits() == d.bits());
+}
+
 TEST(PushPullGossip, ValidatesInput) {
   const auto g = make_path(4);
   NetworkView view(g, false);

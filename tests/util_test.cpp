@@ -210,6 +210,68 @@ TEST(Bitset, UnionIntersectionDifference) {
 TEST(Bitset, SizeMismatchThrows) {
   Bitset a(10), b(11);
   EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a.or_assign_changed(b), std::invalid_argument);
+  EXPECT_THROW(a.assign_and_count(b), std::invalid_argument);
+}
+
+TEST(Bitset, OrAssignChangedReportsAddedBits) {
+  Bitset a(130), b(130);
+  a.set(1);
+  a.set(100);
+  b.set(100);  // overlap: not newly added
+  b.set(64);
+  b.set(129);
+  const Bitset::OrDelta d = a.or_assign_changed(b);
+  EXPECT_TRUE(d.changed);
+  EXPECT_EQ(d.added, 2u);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(129));
+}
+
+TEST(Bitset, OrAssignChangedNoopOnSubset) {
+  Bitset a(130), b(130);
+  a.set(7);
+  a.set(128);
+  b.set(7);
+  const Bitset before = a;
+  const Bitset::OrDelta d = a.or_assign_changed(b);
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.added, 0u);
+  EXPECT_TRUE(a == before);
+  // Empty other is always a no-op.
+  EXPECT_FALSE(a.or_assign_changed(Bitset(130)).changed);
+}
+
+TEST(Bitset, OrAssignChangedMatchesOrEquals) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bitset a(200), b(200);
+    for (int i = 0; i < 40; ++i) {
+      a.set(rng.uniform(200));
+      b.set(rng.uniform(200));
+    }
+    Bitset expect = a;
+    expect |= b;
+    const std::size_t before = a.count();
+    const Bitset::OrDelta d = a.or_assign_changed(b);
+    EXPECT_TRUE(a == expect);
+    EXPECT_EQ(d.added, expect.count() - before);
+    EXPECT_EQ(d.changed, expect.count() != before);
+  }
+}
+
+TEST(Bitset, AssignAndCountCopiesAndCounts) {
+  Bitset src(130);
+  src.set(0);
+  src.set(64);
+  src.set(129);
+  Bitset dst(130);
+  dst.set(3);  // stale contents must be fully overwritten
+  EXPECT_EQ(dst.assign_and_count(src), 3u);
+  EXPECT_TRUE(dst == src);
+  EXPECT_EQ(dst.assign_and_count(Bitset(130)), 0u);
+  EXPECT_EQ(dst.count(), 0u);
 }
 
 TEST(Bitset, SubsetTest) {
