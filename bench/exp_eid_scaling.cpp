@@ -44,9 +44,11 @@ struct EidSample {
 EidSample sample_eid(const WeightedGraph& g, Latency diameter_estimate,
                      std::uint64_t seed) {
   const TrialAggregate agg = run_trials(
-      g_trials, g_threads, seed, [&](std::size_t, Rng rng) {
+      g_trials, g_threads, seed,
+      [&](std::size_t, Rng rng, TrialWorkspace& ws) {
         EidOptions opts;
         opts.diameter_estimate = diameter_estimate;
+        opts.workspace = &ws;
         const EidOutcome out =
             run_eid(g, opts, own_id_rumors(g.num_nodes()), rng);
         SimResult sim = out.sim;
@@ -123,8 +125,10 @@ int main(int argc, char** argv) {
     std::vector<std::size_t> attempts(g_trials, 0);
     bool general_ok = true;
     const TrialAggregate general = run_trials(
-        g_trials, g_threads, seed + 78, [&](std::size_t trial, Rng rng) {
-          const GeneralEidOutcome out = run_general_eid(c.g, 0, rng);
+        g_trials, g_threads, seed + 78,
+        [&](std::size_t trial, Rng rng, TrialWorkspace& ws) {
+          const GeneralEidOutcome out =
+              run_general_eid(c.g, 0, rng, 1, nullptr, &ws);
           final_k[trial] = out.final_estimate;
           attempts[trial] = out.attempts;
           SimResult sim = out.sim;

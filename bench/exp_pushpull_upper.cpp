@@ -33,13 +33,17 @@ std::size_t g_threads = 1;
 
 double measure_push_pull(const WeightedGraph& g, int trials,
                          std::uint64_t seed) {
+  // Workspace overload: the per-worker protocol instance and engine
+  // calendar queue are recycled across all trials of the sweep.
   const TrialAggregate agg = run_trials(
       static_cast<std::size_t>(trials), g_threads, seed,
-      [&g](std::size_t, Rng rng) {
+      [&g](std::size_t, Rng rng, TrialWorkspace& ws) {
         NetworkView view(g, false);
-        PushPullBroadcast proto(view, 0, rng);
+        auto& proto = ws.slot<PushPullBroadcast>(view, NodeId{0}, rng);
+        proto.reset(view, 0, rng);
         SimOptions opts;
         opts.max_rounds = 20'000'000;
+        opts.workspace = &ws;
         return run_gossip(g, proto, opts);
       });
   if (!agg.all_completed())

@@ -86,11 +86,13 @@ int main(int argc, char** argv) {
     std::vector<std::vector<Round>> per_trial(trials);
     const TrialAggregate agg = run_trials(
         trials, threads, seed * 3 + 1,
-        [&](std::size_t trial, Rng rng) {
+        [&](std::size_t trial, Rng rng, TrialWorkspace& ws) {
           NetworkView view(c.g, false);
-          PushPullBroadcast proto(view, 0, rng);
+          auto& proto = ws.slot<PushPullBroadcast>(view, NodeId{0}, rng);
+          proto.reset(view, 0, rng);
           SimOptions opts;
           opts.max_rounds = 5'000'000;
+          opts.workspace = &ws;
           const SimResult r = run_gossip(c.g, proto, opts);
           per_trial[trial] = decile_rounds(proto, n);
           return r;

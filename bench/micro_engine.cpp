@@ -63,19 +63,23 @@ static void BM_RunTrialsPushPull(benchmark::State& state) {
   Rng grng(1);
   auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
   assign_random_uniform_latency(g, 1, 8, grng);
+  // Workspace overload: protocol + engine state recycled per worker
+  // across trials and batches, as in the production sweeps.
   for (auto _ : state) {
     const TrialAggregate agg = run_trials(
-        16, threads, 99, [&g](std::size_t, Rng rng) {
+        16, threads, 99, [&g](std::size_t, Rng rng, TrialWorkspace& ws) {
           NetworkView view(g, false);
-          PushPullBroadcast proto(view, 0, rng);
+          auto& proto = ws.slot<PushPullBroadcast>(view, NodeId{0}, rng);
+          proto.reset(view, 0, rng);
           SimOptions opts;
           opts.max_rounds = 1'000'000;
+          opts.workspace = &ws;
           return run_gossip(g, proto, opts);
         });
     benchmark::DoNotOptimize(agg.rounds.mean());
   }
 }
-BENCHMARK(BM_RunTrialsPushPull)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_RunTrialsPushPull)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 static void BM_PushPullAllToAll(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -73,6 +73,31 @@ constexpr Baseline kPreCowBaseline[] = {
     {"run_trials_8x4096_t1", 62377881.0},
 };
 
+/// Pre-trial-pool numbers: run_trials spawning fresh std::threads per
+/// call, one shared fetch_add counter, no workspace reuse (every trial
+/// rebuilt engine + protocol from scratch). Measured with an equivalent
+/// driver from a pre-pool checkout, A/B-interleaved with the current
+/// build in the same time window (same box, same workloads; 3
+/// alternating rounds of 3 repeats, per-row minimum of the round
+/// means — this virtualized box's noise is one-sided, so min is the
+/// robust estimator). The scaling story they tell: adding threads made
+/// these batches SLOWER — this machine class is single-core, so t>1
+/// was pure oversubscription plus allocator churn (DESIGN.md §5h).
+constexpr Baseline kPrePoolBaseline[] = {
+    {"run_trials_16x512_t1", 11731824.0},
+    {"run_trials_16x512_t2", 12001388.0},
+    {"run_trials_16x512_t4", 12239976.0},
+    {"run_trials_16x512_t8", 12502834.0},
+    {"run_trials_8x4096_t1", 65620516.0},
+    {"run_trials_8x4096_t2", 75958953.0},
+    {"run_trials_8x4096_t4", 75808032.0},
+    {"run_trials_8x4096_t8", 77972679.0},
+    {"run_trials_10k_sweep_t1", 532428735.0},
+    {"run_trials_10k_sweep_t2", 501738593.0},
+    {"run_trials_10k_sweep_t4", 506816635.0},
+    {"run_trials_10k_sweep_t8", 535693595.0},
+};
+
 /// Pre-CSR graph numbers: the seed WeightedGraph (vector-of-vectors
 /// adjacency, unordered_map<packed pair, EdgeId> for find_edge) compiled
 /// -O2 -g -DNDEBUG (RelWithDebInfo parity) and run on these exact
@@ -117,6 +142,46 @@ struct Case {
   double ns;
 };
 
+/// One run_trials workload measured across thread counts; rendered as a
+/// "thread_scaling" JSON object with per-count parallel efficiency
+/// (t1_ns / (tk_ns * k), as a percentage — 100% is perfect scaling, and
+/// anything above the pre-pool baseline's <= ~100/k% means the
+/// inversion is gone).
+struct ScalingEntry {
+  std::string family;
+  std::vector<std::pair<std::size_t, double>> ns_by_threads;
+};
+
+std::string scaling_json(const std::vector<ScalingEntry>& entries) {
+  if (entries.empty()) return "";
+  std::string out = ",\n  \"thread_scaling\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ScalingEntry& e = entries[i];
+    double t1 = 0.0;
+    for (const auto& [threads, ns] : e.ns_by_threads)
+      if (threads == 1) t1 = ns;
+    out += "    \"" + e.family + "\": {";
+    bool first = true;
+    for (const auto& [threads, ns] : e.ns_by_threads) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s\"t%zu_ns\": %.0f",
+                    first ? "" : ", ", threads, ns);
+      first = false;
+      out += buf;
+    }
+    for (const auto& [threads, ns] : e.ns_by_threads) {
+      if (threads == 1 || t1 <= 0.0 || ns <= 0.0) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", \"efficiency_t%zu_pct\": %.1f",
+                    threads, 100.0 * t1 / (ns * static_cast<double>(threads)));
+      out += buf;
+    }
+    out += i + 1 < entries.size() ? "},\n" : "}\n";
+  }
+  out += "  }";
+  return out;
+}
+
 /// One named before-numbers block: "<ns_key>" object plus a
 /// "<speedup_key>" ratio object covering every case with a counterpart.
 struct BaselineBlock {
@@ -131,7 +196,8 @@ struct BaselineBlock {
 int write_json(const std::string& out, const char* bench,
                const char* workload, int repeats,
                const std::vector<BaselineBlock>& baselines,
-               const std::vector<Case>& cases) {
+               const std::vector<Case>& cases,
+               const std::string& extra_json = std::string()) {
   FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out.c_str());
@@ -172,6 +238,7 @@ int write_json(const std::string& out, const char* bench,
     }
     std::fprintf(f, "%s\n  }", speedups.c_str());
   }
+  if (!extra_json.empty()) std::fprintf(f, "%s", extra_json.c_str());
   std::fprintf(f, "\n}\n");
   std::fclose(f);
 
@@ -370,48 +437,61 @@ int main(int argc, char** argv) {
                                          repeats)});
   }
 
+  // The run_trials rows use the workspace overload — the production
+  // sweep configuration: protocol and engine state parked per worker,
+  // reset per trial (DESIGN.md §5h). Batches run on the persistent
+  // TrialPool; the t1 rows exercise the sequential inline path with the
+  // caller's own workspace.
+  const auto reusing_trial = [](const WeightedGraph& g) {
+    return [&g](std::size_t, Rng rng, TrialWorkspace& ws) {
+      NetworkView view(g, false);
+      auto& proto = ws.slot<PushPullBroadcast>(view, NodeId{0}, rng);
+      proto.reset(view, 0, rng);
+      SimOptions opts;
+      opts.max_rounds = 1'000'000;
+      opts.workspace = &ws;
+      return run_gossip(g, proto, opts);
+    };
+  };
+  std::vector<ScalingEntry> scaling;
+  const auto bench_trials_family = [&](const std::string& family,
+                                       const WeightedGraph& g,
+                                       std::size_t trials) {
+    ScalingEntry entry{family, {}};
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const auto fn = reusing_trial(g);
+      const double ns = measure_ns(
+          [&] { (void)run_trials(trials, threads, 99, fn); }, repeats);
+      cases.push_back({family + "_t" + std::to_string(threads), ns});
+      entry.ns_by_threads.emplace_back(threads, ns);
+    }
+    scaling.push_back(std::move(entry));
+  };
+
   {
     const WeightedGraph g = bench_graph(a2a_small_n);
-    for (std::size_t threads : {1u, 2u, 4u}) {
-      cases.push_back(
-          {"run_trials_" + std::to_string(trials_small) + "x" +
-               std::to_string(a2a_small_n) + "_t" + std::to_string(threads),
-           measure_ns(
-               [&] {
-                 (void)run_trials(trials_small, threads, 99,
-                                  [&g](std::size_t, Rng rng) {
-                                    NetworkView view(g, false);
-                                    PushPullBroadcast proto(view, 0, rng);
-                                    SimOptions opts;
-                                    opts.max_rounds = 1'000'000;
-                                    return run_gossip(g, proto, opts);
-                                  });
-               },
-               repeats)});
-    }
+    bench_trials_family("run_trials_" + std::to_string(trials_small) + "x" +
+                            std::to_string(a2a_small_n),
+                        g, trials_small);
   }
 
   if (big_n != a2a_small_n) {
     // Bigger per-trial work: thread scaling on trials long enough that
-    // per-trial arena management is noise.
+    // per-trial setup is noise.
     const WeightedGraph g = bench_graph(big_n);
-    for (std::size_t threads : {1u, 2u, 4u}) {
-      cases.push_back(
-          {"run_trials_" + std::to_string(trials_big) + "x" +
-               std::to_string(big_n) + "_t" + std::to_string(threads),
-           measure_ns(
-               [&] {
-                 (void)run_trials(trials_big, threads, 99,
-                                  [&g](std::size_t, Rng rng) {
-                                    NetworkView view(g, false);
-                                    PushPullBroadcast proto(view, 0, rng);
-                                    SimOptions opts;
-                                    opts.max_rounds = 1'000'000;
-                                    return run_gossip(g, proto, opts);
-                                  });
-               },
-               repeats)});
-    }
+    bench_trials_family("run_trials_" + std::to_string(trials_big) + "x" +
+                            std::to_string(big_n),
+                        g, trials_big);
+  }
+
+  {
+    // Many tiny trials: the sweep shape every EXPERIMENTS.md experiment
+    // has (thousands of seeds, small graphs). Per-trial setup cost and
+    // claim contention dominate here, so this row is the one the
+    // chunked-claim pool and the workspace reuse move the most.
+    const std::size_t sweep_trials = smoke ? 200 : 10'000;
+    const WeightedGraph g = bench_graph(64);
+    bench_trials_family("run_trials_10k_sweep", g, sweep_trials);
   }
 
   const std::vector<BaselineBlock> engine_baselines = {
@@ -419,6 +499,8 @@ int main(int argc, char** argv) {
        std::size(kPrePrBaseline)},
       {"baseline_pre_cow_ns", "speedup_vs_pre_cow", kPreCowBaseline,
        std::size(kPreCowBaseline)},
+      {"baseline_pre_pool_ns", "speedup_vs_pre_pool", kPrePoolBaseline,
+       std::size(kPrePoolBaseline)},
   };
   const std::vector<Case> graph_cases =
       run_graph_cases(repeats, smoke ? 8 : 16, smoke ? 100'000 : 1'000'000);
@@ -435,7 +517,7 @@ int main(int argc, char** argv) {
       out, "engine",
       "erdos_renyi avg-degree 8, latencies uniform[1,8], push-pull from "
       "node 0",
-      repeats, engine_baselines, cases);
+      repeats, engine_baselines, cases, scaling_json(scaling));
   if (engine_rc != 0) return engine_rc;
 
   const std::vector<BaselineBlock> graph_baselines = {

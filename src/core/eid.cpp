@@ -9,6 +9,7 @@
 #include "core/termination.h"
 #include "obs/metrics.h"
 #include "sim/dispatch.h"
+#include "sim/workspace.h"
 
 namespace latgossip {
 namespace {
@@ -59,6 +60,7 @@ EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
       opts.max_rounds = static_cast<Round>(d) * 64 *
                         static_cast<Round>(ceil_log2(n) * ceil_log2(n) + 4);
       opts.recorder = recorder;
+      opts.workspace = options.workspace;
       SimResult sim;
       if (options.randomized_local_broadcast) {
         RandomLocalBroadcast rlb(view, d, std::move(out.rumors),
@@ -93,6 +95,7 @@ EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
     SimOptions rr_opts;
     rr_opts.max_rounds = rr.budget() + rr_k + 2;
     rr_opts.recorder = recorder;
+    rr_opts.workspace = options.workspace;
     const SimResult sim = dispatch_gossip(g, rr, rr_opts);
     phase.add(sim);
     out.sim.accumulate(sim);
@@ -105,7 +108,7 @@ EidOutcome run_eid(const WeightedGraph& g, const EidOptions& options,
 
 GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
                                   Rng& rng, Latency initial_guess,
-                                  ObsContext* obs) {
+                                  ObsContext* obs, TrialWorkspace* workspace) {
   const std::size_t n = g.num_nodes();
   if (initial_guess < 1)
     throw std::invalid_argument("General EID: initial guess must be >= 1");
@@ -129,6 +132,7 @@ GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
     options.diameter_estimate = k;
     options.n_hat = n_hat;
     options.obs = obs;
+    options.workspace = workspace;
     EidOutcome attempt = run_eid(g, options, std::move(out.rumors), rng);
     out.sim.accumulate(attempt.sim);
     out.rumors = std::move(attempt.rumors);
@@ -141,6 +145,7 @@ GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
       RRBroadcast rr(view, spanner, k, own_id_rumors(n));
       SimOptions opts;
       opts.max_rounds = rr.budget() + k + 2;
+      opts.workspace = workspace;
       if (obs) opts.recorder = obs->recorder;
       SimResult sim = dispatch_gossip(g, rr, opts);
       return std::make_pair(rr.take_rumors(), sim);

@@ -28,7 +28,8 @@
 
 namespace latgossip {
 
-struct ObsContext;  // obs/metrics.h
+struct ObsContext;     // obs/metrics.h
+class TrialWorkspace;  // sim/workspace.h
 
 struct EidOptions {
   Latency diameter_estimate = 0;  ///< D (required, >= 1)
@@ -46,6 +47,12 @@ struct EidOptions {
   /// accounting needs. The recorder (if any) is wired into every
   /// internal run_gossip().
   ObsContext* obs = nullptr;
+  /// Optional per-thread workspace (sim/workspace.h): threaded into
+  /// every internal run_gossip() so the engine calendar queue is
+  /// recycled across the O(log n) discovery executions and the RR
+  /// phase. Protocol objects are still built per phase (they consume
+  /// the rumor sets by move).
+  TrialWorkspace* workspace = nullptr;
 };
 
 struct EidOutcome {
@@ -71,9 +78,11 @@ struct GeneralEidOutcome {
 
 /// Guess-and-double EID with the Termination Check (Algorithm 4).
 /// `obs` (optional) threads through every EID attempt and additionally
-/// tags "eid/termination_check".
+/// tags "eid/termination_check". `workspace` (optional) is forwarded
+/// into every internal simulation as EidOptions::workspace.
 GeneralEidOutcome run_general_eid(const WeightedGraph& g, std::size_t n_hat,
                                   Rng& rng, Latency initial_guess = 1,
-                                  ObsContext* obs = nullptr);
+                                  ObsContext* obs = nullptr,
+                                  TrialWorkspace* workspace = nullptr);
 
 }  // namespace latgossip

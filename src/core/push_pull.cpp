@@ -18,6 +18,17 @@ PushPullBroadcast::PushPullBroadcast(const NetworkView& view, NodeId source,
   inform_round_[source] = 0;
 }
 
+void PushPullBroadcast::reset(const NetworkView& view, NodeId source, Rng rng) {
+  if (source >= view.num_nodes())
+    throw std::invalid_argument("push-pull: bad source");
+  view_ = view;
+  rng_ = rng;
+  informed_.reinit(view.num_nodes());
+  inform_round_.assign(view.num_nodes(), -1);
+  informed_.set(source);
+  inform_round_[source] = 0;
+}
+
 BiasedPushPullBroadcast::BiasedPushPullBroadcast(const NetworkView& view,
                                                  NodeId source, double rho,
                                                  Rng rng)
@@ -40,6 +51,35 @@ BiasedPushPullBroadcast::BiasedPushPullBroadcast(const NetworkView& view,
       cumulative_[u].push_back(total);
     }
   }
+  informed_[source] = true;
+  informed_count_ = 1;
+}
+
+void BiasedPushPullBroadcast::reset(const NetworkView& view, NodeId source,
+                                    double rho, Rng rng) {
+  if (source >= view.num_nodes())
+    throw std::invalid_argument("biased push-pull: bad source");
+  if (rho < 0.0)
+    throw std::invalid_argument("biased push-pull: rho must be >= 0");
+  if (!view.latencies_known())
+    throw std::invalid_argument(
+        "biased push-pull needs latency knowledge to bias by latency");
+  const bool same_weights = &view.graph() == &view_.graph() && rho == rho_ &&
+                            cumulative_.size() == view.num_nodes();
+  view_ = view;
+  rng_ = rng;
+  rho_ = rho;
+  if (!same_weights) {
+    cumulative_.assign(view.num_nodes(), {});
+    for (NodeId u = 0; u < view.num_nodes(); ++u) {
+      double total = 0.0;
+      for (const HalfEdge& h : view.neighbors(u)) {
+        total += std::pow(static_cast<double>(view.latency(h.edge)), -rho);
+        cumulative_[u].push_back(total);
+      }
+    }
+  }
+  informed_.assign(view.num_nodes(), false);
   informed_[source] = true;
   informed_count_ = 1;
 }
@@ -92,6 +132,29 @@ PushPullGossip::PushPullGossip(const NetworkView& view, GossipGoal goal,
     rumor_count_[u] = rumors_[u].count();
     refresh_satisfied(u);
   }
+}
+
+void PushPullGossip::reset_own_id(const NetworkView& view, GossipGoal goal,
+                                  NodeId source, Rng rng) {
+  const std::size_t n = view.num_nodes();
+  if (goal == GossipGoal::kSingleSource && source >= n)
+    throw std::invalid_argument("push-pull: bad source");
+  view_ = view;
+  goal_ = goal;
+  source_ = source;
+  rng_ = rng;
+  // Release the cached snapshot refs first so the arena reset below sees
+  // every block back in its pool (its precondition).
+  snapshots_.reset(n, n);
+  rumors_.resize(n);
+  rumor_count_.assign(n, 1);
+  for (NodeId u = 0; u < n; ++u) {
+    rumors_[u].reinit(n);
+    rumors_[u].set(u);
+  }
+  satisfied_.assign(n, false);
+  satisfied_count_ = 0;
+  for (NodeId u = 0; u < n; ++u) refresh_satisfied(u);
 }
 
 std::vector<Bitset> PushPullGossip::own_id_rumors(std::size_t n) {

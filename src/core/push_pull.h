@@ -35,6 +35,12 @@ class PushPullBroadcast {
 
   PushPullBroadcast(const NetworkView& view, NodeId source, Rng rng);
 
+  /// Re-arm for a new trial, as if freshly constructed with these
+  /// arguments. Allocation-free when the node count is unchanged —
+  /// trial sweeps keep one instance per worker in a TrialWorkspace slot
+  /// and reset it per trial (DESIGN.md §5h).
+  void reset(const NetworkView& view, NodeId source, Rng rng);
+
   /// Single-rumor push-pull is the paper's "small messages" protocol
   /// (Conclusion): one bit of payload per direction.
   static std::size_t payload_bits(const Payload&) { return 1; }
@@ -72,6 +78,11 @@ class BiasedPushPullBroadcast {
   BiasedPushPullBroadcast(const NetworkView& view, NodeId source, double rho,
                           Rng rng);
 
+  /// Re-arm for a new trial. The cumulative selection-weight tables are
+  /// rebuilt only when the graph or ρ changed; same-workload sweeps
+  /// reuse them (and every other allocation) untouched.
+  void reset(const NetworkView& view, NodeId source, double rho, Rng rng);
+
   static std::size_t payload_bits(const Payload&) { return 1; }
 
   std::optional<Contact> select_contact(NodeId u, Round r);
@@ -104,6 +115,15 @@ class PushPullGossip {
   /// GossipGoal::kSingleSource.
   PushPullGossip(const NetworkView& view, GossipGoal goal, NodeId source,
                  std::vector<Bitset> initial_rumors, Rng rng);
+
+  /// Re-arm for a new trial with own_id_rumors(n) starting sets, rebuilt
+  /// in place (no fresh Bitset vector, no new snapshot arena; see
+  /// DESIGN.md §5h). Allocation-free when the node count is unchanged.
+  /// Precondition: no SnapshotRef from the previous run is still alive
+  /// outside this protocol — true at trial boundaries because the
+  /// engine releases pending deliveries before run_gossip returns.
+  void reset_own_id(const NetworkView& view, GossipGoal goal, NodeId source,
+                    Rng rng);
 
   static std::vector<Bitset> own_id_rumors(std::size_t n);
 

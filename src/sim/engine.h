@@ -56,6 +56,7 @@
 #include "graph/graph.h"
 #include "obs/recorder.h"
 #include "sim/metrics.h"
+#include "sim/workspace.h"
 
 namespace latgossip {
 
@@ -243,6 +244,15 @@ struct SimOptions {
   /// std::function hop. Not owned; must outlive the run. One recorder
   /// per concurrent trial (the recorder is not thread-safe).
   EventRecorder* recorder = nullptr;
+  /// Reusable per-thread scratch (sim/workspace.h). When set, the engine
+  /// keeps its calendar-queue state in a workspace slot instead of run-
+  /// local vectors, so back-to-back runs on similar graphs allocate
+  /// nothing (DESIGN.md §5h). Not owned; never alters results — every
+  /// reused structure is reset to its fresh-run state before use, and
+  /// pending payloads are released before run_gossip returns. run_trials
+  /// hands each trial its worker's workspace; direct callers may pass
+  /// trial_workspace() themselves.
+  TrialWorkspace* workspace = nullptr;
 
   /// True iff any dynamic hook (or the recorder) is installed;
   /// hook-free runs take the compile-time NoHooks fast path through the
@@ -267,6 +277,109 @@ struct SimOptions {
 
 namespace detail {
 
+/// One scheduled payload leg, parameterized on the protocol's payload
+/// type so EngineState below can persist buckets across runs.
+template <typename PayloadT>
+struct EngineDelivery {
+  NodeId to;
+  NodeId from;
+  EdgeId edge;
+  Round start;
+  bool to_initiator;  ///< true for the response leg (unblocks `to`)
+  PayloadT payload;
+};
+
+/// The engine's per-run storage, extracted so a TrialWorkspace can keep
+/// it alive between runs: the calendar queue (power-of-two ring of
+/// delivery buckets) plus the blocking / bounded-in-degree bookkeeping
+/// vectors. prepare() restores the exact fresh-run state while keeping
+/// every allocation whose capacity still fits — in the trial-sweep
+/// steady state (same graph shape run after run) it allocates nothing.
+/// One state per payload type per workspace; protocols sharing a payload
+/// type share the state, which is safe because runs on one workspace are
+/// sequential (in_use guards the one exception: a run nested inside
+/// another run's hook falls back to run-local state).
+template <typename PayloadT>
+class EngineState {
+ public:
+  using Delivery = EngineDelivery<PayloadT>;
+
+  std::vector<std::vector<Delivery>> slots;
+  std::vector<Round> slot_due;
+  std::size_t capacity = 0;
+  std::size_t mask = 0;
+  std::vector<std::size_t> outstanding;    ///< blocking model
+  std::vector<Round> incoming_stamp;       ///< bounded in-degree
+  std::vector<std::size_t> incoming_count;
+  bool in_use = false;
+
+  /// Reset to fresh-run state for a latency horizon and node count.
+  /// Ring capacity and bucket storage are kept when large enough;
+  /// contents never survive (buckets are cleared here and on run exit).
+  void prepare(std::size_t horizon, std::size_t n, bool blocking,
+               bool bounded_indegree) {
+    std::size_t want = 1;
+    while (want < horizon) want <<= 1;
+    if (want > capacity) {
+      slots.resize(want);
+      slot_due.resize(want);
+      capacity = want;
+      mask = want - 1;
+    }
+    std::fill(slot_due.begin(), slot_due.end(), Round{-1});
+    // Pre-size every bucket to the dense steady state (each round
+    // schedules at most 2n legs, and doubling growth would land a busy
+    // bucket at ~2n anyway); reused buckets already hold their storage
+    // and skip the reserve. Reserved-but-untouched pages cost nothing
+    // physical; the cap keeps the virtual footprint polite at large n.
+    const std::size_t bucket_hint =
+        std::min<std::size_t>(2 * n, std::size_t{1} << 16);
+    for (auto& slot : slots) {
+      slot.clear();
+      if (slot.capacity() < bucket_hint) slot.reserve(bucket_hint);
+    }
+    if (blocking)
+      outstanding.assign(n, 0);
+    else
+      outstanding.clear();
+    if (bounded_indegree) {
+      incoming_stamp.assign(n, -1);
+      incoming_count.assign(n, 0);
+    } else {
+      incoming_stamp.clear();
+      incoming_count.clear();
+    }
+  }
+
+  /// Re-bucket into a larger ring (latency jitter stretched a latency
+  /// past the nominal horizon).
+  void grow(std::size_t need) {
+    std::size_t new_capacity = std::max<std::size_t>(capacity, 1);
+    while (new_capacity < need) new_capacity <<= 1;
+    std::vector<std::vector<Delivery>> new_slots(new_capacity);
+    std::vector<Round> new_due(new_capacity, -1);
+    const std::size_t new_mask = new_capacity - 1;
+    for (std::size_t i = 0; i < capacity; ++i) {
+      if (slots[i].empty()) continue;
+      const auto j = static_cast<std::size_t>(slot_due[i]) & new_mask;
+      new_slots[j] = std::move(slots[i]);
+      new_due[j] = slot_due[i];
+    }
+    slots = std::move(new_slots);
+    slot_due = std::move(new_due);
+    capacity = new_capacity;
+    mask = new_mask;
+  }
+
+  /// Destroy every pending delivery (payloads included). Runs on every
+  /// run_gossip exit path — max_rounds, idle, exception — so payload
+  /// handles (SnapshotRefs into a protocol's arena) never outlive the
+  /// protocol that owns their storage.
+  void release_pending() noexcept {
+    for (auto& slot : slots) slot.clear();
+  }
+};
+
 /// Engine core, instantiated twice per protocol: kHooked=false elides
 /// every std::function test from the loops; kHooked=true is the fully
 /// dynamic path. Both produce bit-identical results for the same seed
@@ -274,14 +387,8 @@ namespace detail {
 template <bool kHooked, typename P>
 SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
                           const SimOptions& opts) {
-  struct Delivery {
-    NodeId to;
-    NodeId from;
-    EdgeId edge;
-    Round start;
-    bool to_initiator;  ///< true for the response leg (unblocks `to`)
-    typename P::Payload payload;
-  };
+  using Delivery = EngineDelivery<typename P::Payload>;
+  using State = EngineState<typename P::Payload>;
 
   const std::size_t n = g.num_nodes();
   // Hoisted: the recorder pointer is read once, not through `opts` on
@@ -300,42 +407,41 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
   // owns a distinct slot. Buckets are cleared after draining but keep
   // their storage — steady state schedules without allocating. Jitter
   // may stretch a latency past the nominal horizon; grow() re-buckets.
-  std::size_t capacity = 1;
+  //
+  // The queue lives in the caller's TrialWorkspace when one is supplied
+  // (so the next run on this thread reuses the buckets) and falls back
+  // to run-local state otherwise — or when the workspace slot is
+  // already driving an enclosing run (a run_gossip nested inside a
+  // hook), which keeps reuse transparent even for re-entrant callers.
+  State local_state;
+  State* state = &local_state;
+  if (opts.workspace != nullptr) {
+    State& shared = opts.workspace->slot<State>();
+    if (!shared.in_use) state = &shared;
+  }
+  State& st = *state;
   const auto horizon =
       static_cast<std::size_t>(std::max<Latency>(g.max_latency(), 1)) + 1;
-  while (capacity < horizon) capacity <<= 1;
-  std::vector<std::vector<Delivery>> slots(capacity);
-  std::vector<Round> slot_due(capacity, -1);
-  std::size_t mask = capacity - 1;
+  st.prepare(horizon, n, opts.blocking, opts.max_incoming_per_round > 0);
+  st.in_use = true;
+  struct StateGuard {
+    State& st;
+    ~StateGuard() {
+      st.release_pending();
+      st.in_use = false;
+    }
+  } state_guard{st};
+
+  auto& slots = st.slots;
+  auto& slot_due = st.slot_due;
+  std::size_t mask = st.mask;
+  [[maybe_unused]] std::size_t capacity = st.capacity;
   std::size_t inflight = 0;
-  // Pre-size every bucket to the dense steady state (each round schedules
-  // at most 2n legs, and doubling growth would land a busy bucket at ~2n
-  // anyway). Buckets are run-local, so without this every run re-pays the
-  // geometric regrow churn — for all-to-all it is a measurable slice of
-  // wall time. Reserved-but-untouched pages cost nothing physical; the
-  // cap keeps the virtual footprint polite at very large n.
-  {
-    const std::size_t bucket_hint =
-        std::min<std::size_t>(2 * n, std::size_t{1} << 16);
-    for (auto& slot : slots) slot.reserve(bucket_hint);
-  }
 
   auto grow = [&](std::size_t need) {
-    std::size_t new_capacity = capacity;
-    while (new_capacity < need) new_capacity <<= 1;
-    std::vector<std::vector<Delivery>> new_slots(new_capacity);
-    std::vector<Round> new_due(new_capacity, -1);
-    const std::size_t new_mask = new_capacity - 1;
-    for (std::size_t i = 0; i < capacity; ++i) {
-      if (slots[i].empty()) continue;
-      const auto j = static_cast<std::size_t>(slot_due[i]) & new_mask;
-      new_slots[j] = std::move(slots[i]);
-      new_due[j] = slot_due[i];
-    }
-    slots = std::move(new_slots);
-    slot_due = std::move(new_due);
-    capacity = new_capacity;
-    mask = new_mask;
+    st.grow(need);
+    mask = st.mask;
+    capacity = st.capacity;
   };
 
   auto schedule = [&](Round due, Delivery&& d) {
@@ -346,14 +452,10 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
   };
 
   // Blocking-model bookkeeping: outstanding self-initiated exchanges.
-  std::vector<std::size_t> outstanding(opts.blocking ? n : 0, 0);
+  auto& outstanding = st.outstanding;
   // Bounded in-degree bookkeeping (stamp trick: O(1) per-round reset).
-  std::vector<Round> incoming_stamp;
-  std::vector<std::size_t> incoming_count;
-  if (opts.max_incoming_per_round > 0) {
-    incoming_stamp.assign(n, -1);
-    incoming_count.assign(n, 0);
-  }
+  auto& incoming_stamp = st.incoming_stamp;
+  auto& incoming_count = st.incoming_count;
 
   for (Round r = 0; r <= opts.max_rounds; ++r) {
     // 1. Deliveries due now. Within the pending window, any entry in

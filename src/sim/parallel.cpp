@@ -1,14 +1,13 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <mutex>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/fingerprint.h"
+#include "sim/pool.h"
 
 namespace latgossip {
 
@@ -20,14 +19,54 @@ std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t trial) noexcept {
   return splitmix64(state);
 }
 
-std::size_t resolve_threads(std::size_t threads) noexcept {
-  if (threads != 0) return threads;
+namespace detail {
+std::size_t read_default_concurrency() noexcept {
+  if (const char* env = std::getenv("LATGOSSIP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
+}  // namespace detail
+
+std::size_t default_concurrency() noexcept {
+  static const std::size_t cached = detail::read_default_concurrency();
+  return cached;
+}
+
+std::size_t resolve_threads(std::size_t threads) noexcept {
+  // A batch dispatched from inside a pool worker must not wait on the
+  // pool that is running it: degrade nested batches to sequential.
+  if (TrialPool::on_worker_thread()) return 1;
+  return threads == 0 ? default_concurrency() : threads;
+}
+
+namespace {
+
+/// Run trial `t`: time it, hand it the given workspace (under a depth
+/// scope so nested batches see their own workspaces), stamp the
+/// workspace's trial counter.
+std::pair<SimResult, double> run_one_trial(const TrialWsFn& make_trial,
+                                           std::uint64_t seed, std::size_t t,
+                                           TrialWorkspace& ws) {
+  const auto start = std::chrono::steady_clock::now();
+  SimResult result;
+  {
+    const detail::TrialDepthScope depth_scope;
+    result = make_trial(t, Rng(trial_seed(seed, t)), ws);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  ws.note_trial();
+  return {std::move(result),
+          std::chrono::duration<double, std::milli>(stop - start).count()};
+}
+
+}  // namespace
 
 TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
-                          std::uint64_t seed, const TrialFn& make_trial,
+                          std::uint64_t seed, const TrialWsFn& make_trial,
                           const ManifestSpec* manifest) {
   TrialAggregate agg;
   agg.trials.resize(num_trials);
@@ -36,57 +75,40 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
 
   threads = std::min(resolve_threads(threads), num_trials);
   if (threads <= 1) {
+    // Sequential batches run inline on the caller, against the caller's
+    // own persistent workspace — no pool involvement, so nested batches
+    // on pool workers recycle the worker's state just like top-level
+    // sequential runs on the main thread.
     for (std::size_t t = 0; t < num_trials; ++t) {
-      const auto start = std::chrono::steady_clock::now();
-      agg.trials[t] = make_trial(t, Rng(trial_seed(seed, t)));
-      const auto stop = std::chrono::steady_clock::now();
-      agg.wall_ms[t] =
-          std::chrono::duration<double, std::milli>(stop - start).count();
+      auto [result, wall_ms] =
+          run_one_trial(make_trial, seed, t, trial_workspace());
+      agg.trials[t] = std::move(result);
+      agg.wall_ms[t] = wall_ms;
     }
   } else {
-    // Work-stealing over trial indices. Workers append into per-thread
-    // arenas instead of writing the shared pre-sized `trials`/`wall_ms`
-    // vectors directly: adjacent SimResult/double slots claimed by
-    // different workers share cache lines, and the resulting false
-    // sharing throttles scaling exactly when trials are short. Results
-    // are placed into their trial-order slots after the join, so
-    // aggregation stays bit-identical for any thread count.
+    // Parallel batches run on the shared persistent pool (sim/pool.h):
+    // no thread spawn/join per call, and each worker's thread-local
+    // workspace survives into the next batch. Workers append into
+    // per-worker arenas instead of writing the shared pre-sized
+    // `trials`/`wall_ms` vectors directly: adjacent SimResult/double
+    // slots claimed by different workers share cache lines, and the
+    // resulting false sharing throttles scaling exactly when trials are
+    // short. Results are placed into their trial-order slots after the
+    // batch drains, so aggregation stays bit-identical for any thread
+    // count (and any work-stealing schedule).
     struct TrialSlot {
       std::size_t trial;
       SimResult result;
       double wall_ms;
     };
     std::vector<std::vector<TrialSlot>> arenas(threads);
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    auto worker = [&](std::size_t w) {
-      std::vector<TrialSlot>& mine = arenas[w];
-      mine.reserve(num_trials / threads + 1);
-      while (true) {
-        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-        if (t >= num_trials) return;
-        try {
-          const auto start = std::chrono::steady_clock::now();
-          SimResult r = make_trial(t, Rng(trial_seed(seed, t)));
-          const auto stop = std::chrono::steady_clock::now();
-          mine.push_back(TrialSlot{
-              t, std::move(r),
-              std::chrono::duration<double, std::milli>(stop - start)
-                  .count()});
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-          next.store(num_trials, std::memory_order_relaxed);
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker, i);
-    for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
+    for (auto& arena : arenas) arena.reserve(num_trials / threads + 1);
+    TrialPool::global().run(
+        num_trials, threads, [&](std::size_t t, std::size_t w) {
+          auto [result, wall_ms] =
+              run_one_trial(make_trial, seed, t, trial_workspace());
+          arenas[w].push_back(TrialSlot{t, std::move(result), wall_ms});
+        });
     for (std::vector<TrialSlot>& arena : arenas)
       for (TrialSlot& slot : arena) {
         agg.trials[slot.trial] = std::move(slot.result);
@@ -119,6 +141,17 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
     }
   }
   return agg;
+}
+
+TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
+                          std::uint64_t seed, const TrialFn& make_trial,
+                          const ManifestSpec* manifest) {
+  return run_trials(
+      num_trials, threads, seed,
+      TrialWsFn([&make_trial](std::size_t t, Rng rng, TrialWorkspace&) {
+        return make_trial(t, std::move(rng));
+      }),
+      manifest);
 }
 
 }  // namespace latgossip

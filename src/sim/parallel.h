@@ -28,6 +28,7 @@
 
 #include "obs/export.h"
 #include "sim/metrics.h"
+#include "sim/workspace.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -71,19 +72,55 @@ struct ManifestSpec {
 /// seed-splitting; distinct for every (seed, trial) pair in practice).
 std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t trial) noexcept;
 
-/// 0 means "use hardware concurrency" (at least 1).
+/// The default worker count used when run_trials is called with
+/// threads == 0: the LATGOSSIP_THREADS environment variable when set to
+/// a positive integer, else std::thread::hardware_concurrency() (at
+/// least 1). Computed once and cached — hardware_concurrency() is a
+/// syscall on some platforms, and the env var is read at first use only.
+std::size_t default_concurrency() noexcept;
+
+/// Worker count a run_trials call will actually use before the
+/// num_trials cap: `threads` as given (explicit counts are honored
+/// exactly), default_concurrency() for 0 — and 1 when called from a
+/// TrialPool worker thread, so a trial whose body itself calls
+/// run_trials degrades to sequential execution on that worker instead
+/// of oversubscribing the pool (or deadlocking on it).
 std::size_t resolve_threads(std::size_t threads) noexcept;
+
+namespace detail {
+/// Uncached default_concurrency computation (tests point it at a
+/// scratch environment; production code wants the cached wrapper).
+std::size_t read_default_concurrency() noexcept;
+}  // namespace detail
 
 /// One trial: gets its index and a private RNG, returns the SimResult.
 using TrialFn = std::function<SimResult(std::size_t trial, Rng rng)>;
 
+/// One trial with reusable scratch: additionally receives the executing
+/// worker's persistent TrialWorkspace (sim/workspace.h). The workspace
+/// outlives the trial and the run_trials call — heavyweight state parked
+/// in it (engines, protocols, arenas) is recycled by later trials on the
+/// same worker. Contract: the trial must reset anything it reuses so its
+/// results depend only on (trial, rng); see the workspace header.
+using TrialWsFn =
+    std::function<SimResult(std::size_t trial, Rng rng, TrialWorkspace& ws)>;
+
 /// Run `num_trials` independent trials across `threads` worker threads
-/// (0 = hardware concurrency; capped at num_trials) and aggregate.
-/// Results are bit-identical for any thread count — including the
-/// event-stream fingerprint when trials record. Exceptions thrown by a
-/// trial are rethrown on the calling thread after the pool drains. When
+/// (0 = default_concurrency(); capped at num_trials) and aggregate.
+/// Parallel batches execute on the shared persistent TrialPool
+/// (sim/pool.h) — no per-call thread spawn/join. Results are
+/// bit-identical for any thread count — including the event-stream
+/// fingerprint when trials record. Exceptions thrown by a trial are
+/// rethrown on the calling thread after the batch drains. When
 /// `manifest` is given, one JSONL run-manifest record per trial is
 /// appended to manifest->path (see obs/export.h).
+TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
+                          std::uint64_t seed, const TrialWsFn& make_trial,
+                          const ManifestSpec* manifest = nullptr);
+
+/// Workspace-less convenience overload (the trial manages all its own
+/// state). Identical semantics; the worker's workspace is still there,
+/// the trial just doesn't see it.
 TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
                           std::uint64_t seed, const TrialFn& make_trial,
                           const ManifestSpec* manifest = nullptr);

@@ -1,0 +1,204 @@
+#include "sim/pool.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/workspace.h"
+
+namespace latgossip {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread (any pool instance).
+thread_local bool t_pool_worker = false;
+
+/// Per-thread workspace stack: one workspace per trial-nesting level.
+/// Lives in the thread, not the pool, so the main thread's sequential
+/// runs and every pool worker reuse state across run_trials() calls.
+thread_local std::vector<std::unique_ptr<TrialWorkspace>> t_workspaces;
+thread_local std::size_t t_trial_depth = 0;
+
+}  // namespace
+
+TrialWorkspace& trial_workspace() {
+  while (t_workspaces.size() <= t_trial_depth)
+    t_workspaces.push_back(std::make_unique<TrialWorkspace>());
+  return *t_workspaces[t_trial_depth];
+}
+
+namespace detail {
+TrialDepthScope::TrialDepthScope() noexcept { ++t_trial_depth; }
+TrialDepthScope::~TrialDepthScope() noexcept { --t_trial_depth; }
+}  // namespace detail
+
+TrialPool::TrialPool(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spawn_locked(workers);
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& th : threads_) th.join();
+}
+
+std::size_t TrialPool::workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
+bool TrialPool::on_worker_thread() noexcept { return t_pool_worker; }
+
+TrialPool& TrialPool::global() {
+  // Zero workers until the first parallel batch asks for some; grows to
+  // the largest parallelism ever requested and keeps those threads (and
+  // their thread-local workspaces) for the life of the process.
+  static TrialPool pool(0);
+  return pool;
+}
+
+void TrialPool::spawn_locked(std::size_t target_workers) {
+  while (threads_.size() < target_workers) {
+    const std::size_t index = threads_.size();
+    threads_.emplace_back([this, index] { worker_main(index); });
+  }
+}
+
+void TrialPool::run(
+    std::size_t num_tasks, std::size_t parallelism,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_tasks > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("TrialPool: more than 2^32 tasks");
+  parallelism = std::max<std::size_t>(1, std::min(parallelism, num_tasks));
+
+  Job job;
+  job.fn = &fn;
+  job.participants = parallelism;
+  job.unfinished.store(num_tasks, std::memory_order_relaxed);
+  job.deques = std::vector<Deque>(parallelism);
+  // Initial distribution: contiguous near-equal slices. Slices only
+  // shrink from here (owner claims from the bottom, thieves halve the
+  // top), so load imbalance self-corrects without a shared counter.
+  for (std::size_t w = 0; w < parallelism; ++w) {
+    const std::uint64_t lo = num_tasks * w / parallelism;
+    const std::uint64_t hi = num_tasks * (w + 1) / parallelism;
+    job.deques[w].range.store(pack(lo, hi), std::memory_order_relaxed);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One batch at a time per pool; concurrent callers queue here.
+  finished_.wait(lock, [&] { return job_ == nullptr; });
+  spawn_locked(parallelism);
+  job_ = &job;
+  ++generation_;
+  lock.unlock();
+  wake_.notify_all();
+
+  lock.lock();
+  finished_.wait(lock, [&] {
+    return job.unfinished.load(std::memory_order_acquire) == 0 && busy_ == 0;
+  });
+  job_ = nullptr;
+  lock.unlock();
+  // Wake any queued run() caller waiting for the job slot.
+  finished_.notify_all();
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void TrialPool::worker_main(std::size_t index) {
+  t_pool_worker = true;
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job* job = job_;
+    if (job == nullptr || index >= job->participants) continue;
+    ++busy_;
+    lock.unlock();
+    work_on(*job, index);
+    lock.lock();
+    --busy_;
+    // The last worker out observes unfinished == 0; waking the caller
+    // from under the mutex closes the lost-wakeup window.
+    finished_.notify_all();
+  }
+}
+
+void TrialPool::work_on(Job& job, std::size_t worker) {
+  // Run tasks [lo, hi); after a failure the remaining claims are
+  // drained unexecuted so `unfinished` still reaches zero.
+  const auto execute = [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t t = lo; t < hi; ++t) {
+      if (!job.abort.load(std::memory_order_acquire)) {
+        try {
+          (*job.fn)(static_cast<std::size_t>(t), worker);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(job.error_mutex);
+            if (!job.error) job.error = std::current_exception();
+          }
+          job.abort.store(true, std::memory_order_release);
+        }
+      }
+      job.unfinished.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  Deque& own = job.deques[worker];
+  while (true) {
+    // 1. Claim a chunk from the bottom of the local deque. Chunk size
+    // remaining/4 (≥1): with slices pre-split per worker this is the
+    // `global_remaining / workers / 4` rule — big enough that short
+    // trials don't serialize on the deque word, small enough that the
+    // tail still balances via stealing.
+    std::uint64_t p = own.range.load(std::memory_order_acquire);
+    bool claimed = false;
+    while (lo_of(p) < hi_of(p)) {
+      const std::uint64_t lo = lo_of(p);
+      const std::uint64_t hi = hi_of(p);
+      const std::uint64_t n = std::max<std::uint64_t>(1, (hi - lo) / 4);
+      if (own.range.compare_exchange_weak(p, pack(lo + n, hi),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        execute(lo, lo + n);
+        claimed = true;
+        break;
+      }
+    }
+    if (claimed) continue;
+
+    // 2. Own deque empty: steal the upper half of a victim's range and
+    // deposit it as the new local slice (itself stealable in turn).
+    // Only the owner ever refills its deque, so the plain store cannot
+    // race a successful thief CAS.
+    bool stole = false;
+    for (std::size_t k = 1; k < job.participants && !stole; ++k) {
+      Deque& victim = job.deques[(worker + k) % job.participants];
+      std::uint64_t vp = victim.range.load(std::memory_order_acquire);
+      while (lo_of(vp) < hi_of(vp)) {
+        const std::uint64_t lo = lo_of(vp);
+        const std::uint64_t hi = hi_of(vp);
+        const std::uint64_t half = (hi - lo + 1) / 2;
+        if (victim.range.compare_exchange_weak(vp, pack(lo, hi - half),
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          own.range.store(pack(hi - half, hi), std::memory_order_release);
+          stole = true;
+          break;
+        }
+      }
+    }
+    if (!stole) return;  // every deque empty — batch is drained
+  }
+}
+
+}  // namespace latgossip

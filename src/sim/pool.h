@@ -1,0 +1,125 @@
+#pragma once
+// Persistent work-stealing thread pool for Monte-Carlo trial batches.
+//
+// The previous run_trials spawned fresh std::threads per call and fed
+// them from a single shared fetch_add counter. Both hurt exactly when
+// trials are short: thread spawn/join is tens of microseconds per
+// worker per call, and one-at-a-time claims serialize every worker on
+// the counter's cache line. The TrialPool replaces them with
+//
+//  * persistent workers, started lazily on first parallel batch and
+//    reused by every later run_trials() call (their thread-local
+//    TrialWorkspaces — sim/workspace.h — survive with them, which is
+//    what makes cross-call engine reuse possible);
+//  * per-worker deques of task indices in the Chase-Lev spirit: each
+//    worker starts with a contiguous slice of [0, num_tasks), claims a
+//    chunk of max(1, remaining/4) indices at a time from its own end,
+//    and when empty steals the upper half of a victim's remaining
+//    range. Each deque is one cache-line-aligned packed {lo, hi}
+//    atomic, so owner claims and thief steals are single CAS
+//    operations and never touch another worker's line in steady state.
+//
+// Determinism: a task's index alone decides its RNG seed and its slot
+// in the result array (sim/parallel.h), so claiming order — chunked,
+// stolen, or otherwise — cannot affect results. The pool only decides
+// *where* a task runs, never *what* it computes.
+//
+// Oversubscription: dispatching from inside a pool worker (a trial
+// whose body calls run_trials) would deadlock-or-thrash; on_worker_
+// thread() lets resolve_threads() degrade nested batches to sequential
+// execution on the worker itself. The global pool grows on demand to
+// the largest parallelism any caller requested, but run_trials only
+// asks for min(threads, num_trials) workers.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace latgossip {
+
+class TrialPool {
+ public:
+  /// A pool with exactly `workers` persistent worker threads (at least
+  /// one). Caller-owned pools are for tests and embedders that want a
+  /// fixed worker count regardless of hardware; library code shares
+  /// global().
+  explicit TrialPool(std::size_t workers);
+
+  /// Clean shutdown: signals every worker, joins them all. Must not be
+  /// called while a run() is in flight.
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  /// Worker threads currently alive.
+  std::size_t workers() const;
+
+  /// Execute tasks 0..num_tasks-1 on up to `parallelism` pool workers
+  /// (the pool grows on demand; the calling thread blocks but does not
+  /// execute tasks). `fn(task, worker)` runs on a worker thread;
+  /// `worker` is that worker's stable index in [0, parallelism) —
+  /// per-worker result arenas key off it. Blocks until every task
+  /// completed or one threw; the first exception is rethrown here after
+  /// all workers have stopped. Tasks claimed after a failure are
+  /// skipped. Concurrent run() calls on one pool serialize.
+  void run(std::size_t num_tasks, std::size_t parallelism,
+           const std::function<void(std::size_t task, std::size_t worker)>& fn);
+
+  /// The process-wide pool shared by run_trials(). Started lazily on
+  /// the first parallel batch; destroyed at process exit.
+  static TrialPool& global();
+
+  /// True on a TrialPool worker thread (any pool). resolve_threads()
+  /// returns 1 here so nested run_trials calls degrade to sequential
+  /// instead of oversubscribing the pool.
+  static bool on_worker_thread() noexcept;
+
+ private:
+  /// One worker's claimable range of task indices, packed {lo:32, hi:32}
+  /// into a single atomic so owner claims (lo += chunk) and steals
+  /// (hi -= half) are each one CAS. Padded to a cache line: in steady
+  /// state a worker's claims touch no other worker's deque.
+  struct alignas(64) Deque {
+    std::atomic<std::uint64_t> range{0};
+  };
+
+  /// One dispatched batch. Workers read everything but `error` through
+  /// the job pointer published under mutex_.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::vector<Deque> deques;  ///< one per participating worker
+    std::size_t participants = 0;
+    std::atomic<std::size_t> unfinished{0};  ///< tasks not yet run/skipped
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_main(std::size_t index);
+  void work_on(Job& job, std::size_t worker);
+  void spawn_locked(std::size_t target_workers);
+
+  static std::uint64_t pack(std::uint64_t lo, std::uint64_t hi) {
+    return (lo << 32) | hi;
+  }
+  static std::uint64_t lo_of(std::uint64_t p) { return p >> 32; }
+  static std::uint64_t hi_of(std::uint64_t p) { return p & 0xffffffffu; }
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;      ///< workers: new job or shutdown
+  std::condition_variable finished_;  ///< caller: job drained
+  std::vector<std::thread> threads_;
+  Job* job_ = nullptr;          ///< current job, guarded by mutex_
+  std::uint64_t generation_ = 0;  ///< bumped per dispatched job
+  std::size_t busy_ = 0;        ///< workers still inside work_on
+  bool stop_ = false;
+};
+
+}  // namespace latgossip

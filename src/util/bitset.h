@@ -106,6 +106,21 @@ class Bitset {
 
   void clear() noexcept { std::fill_n(data(), num_words_, 0); }
 
+  /// Re-zero under a (possibly different) bit count. When the word
+  /// count is unchanged this reuses the existing storage — the
+  /// workspace-reuse steady state (DESIGN.md §5h) re-arms every
+  /// rumor/informed set without touching the heap. (`reset(i)` above
+  /// clears one bit; this re-initializes the whole set.)
+  void reinit(std::size_t size) {
+    const std::size_t words = (size + 63) / 64;
+    if (words == num_words_) {
+      size_ = size;
+      clear();
+      return;
+    }
+    *this = Bitset(size);
+  }
+
   void set_all() noexcept {
     std::fill_n(data(), num_words_, ~std::uint64_t{0});
     trim();

@@ -32,6 +32,7 @@
 // trial, one thread (matching run_trials' isolation contract) — so the
 // refcounts are plain integers.
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -160,6 +161,26 @@ class SnapshotArena {
     return SnapshotRef(block);
   }
 
+  /// Reset for a new trial. Precondition: every SnapshotRef into this
+  /// arena has died (all blocks recycled into the pool) — guaranteed at
+  /// trial boundaries because the engine releases pending deliveries
+  /// before run_gossip returns and SnapshotCache::reset drops its slots
+  /// first. Same width: keeps slabs and pool, so the next run's captures
+  /// reuse every block already allocated (steady-state reuse allocates
+  /// nothing; stale block contents are overwritten at capture). New
+  /// width: drops everything and starts fresh.
+  void reset(std::size_t bits) {
+    if (bits == bits_) {
+      assert(pool_.size() == allocated_ && "SnapshotArena::reset with refs");
+      return;
+    }
+    slabs_.clear();
+    pool_.clear();
+    next_in_slab_ = kSlabBlocks;
+    allocated_ = 0;
+    bits_ = bits;
+  }
+
   /// Blocks ever allocated (the steady-state ceiling: once the pool
   /// covers the in-flight peak this stops growing).
   std::size_t allocated_blocks() const noexcept { return allocated_; }
@@ -281,6 +302,16 @@ class SnapshotCache {
       else
         slot.reset();
     }
+  }
+
+  /// Reset for a new trial: releases every cached slot (recycling the
+  /// blocks), resizes to `nodes` slots, and resets the arena. With
+  /// unchanged sizes the slot vector and the arena's slabs are reused
+  /// as-is — the workspace-reuse steady state allocates nothing here.
+  void reset(std::size_t nodes, std::size_t bits) {
+    for (SnapshotRef& slot : cached_) slot.reset();
+    cached_.resize(nodes);
+    arena_.reset(bits);
   }
 
   const SnapshotArena& arena() const noexcept { return arena_; }

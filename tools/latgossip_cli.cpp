@@ -207,11 +207,13 @@ int cmd_run(const Args& args) {
   // One trial with a private RNG; .completed carries protocol-level
   // success so the multi-trial aggregate can count completions.
   const bool known_latencies = args.get_bool("known-latencies");
-  auto run_single = [&](std::size_t trial, Rng trial_rng) -> SimResult {
+  auto run_single = [&](std::size_t trial, Rng trial_rng,
+                        TrialWorkspace& ws) -> SimResult {
     // One recorder per worker thread, reused across that thread's
     // trials: clear() keeps the event-log storage, so only the first
     // trial per thread pays the allocation (the recorder's designed
-    // steady state). Trials never share a recorder concurrently.
+    // steady state). Trials never share a recorder concurrently. The
+    // workspace likewise recycles the engine calendar queue per worker.
     thread_local EventRecorder recorder;
     recorder.clear();
     MetricsRegistry metrics;
@@ -219,6 +221,7 @@ int cmd_run(const Args& args) {
     ObsContext* obs_ptr = recording ? &obs : nullptr;
     SimOptions opts;
     opts.max_rounds = max_rounds;
+    opts.workspace = &ws;
     if (recording) opts.recorder = &recorder;
     SimResult result;
     if (proto_name == "pushpull") {
@@ -237,7 +240,7 @@ int cmd_run(const Args& args) {
       result = run_gossip(g, proto, opts);
     } else if (proto_name == "eid") {
       const GeneralEidOutcome out =
-          run_general_eid(g, 0, trial_rng, 1, obs_ptr);
+          run_general_eid(g, 0, trial_rng, 1, obs_ptr, &ws);
       result = out.sim;
       result.completed = out.success;
     } else if (proto_name == "tk") {
@@ -352,7 +355,7 @@ int cmd_run(const Args& args) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const SimResult result = run_single(0, rng);
+  const SimResult result = run_single(0, rng, trial_workspace());
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
