@@ -140,7 +140,19 @@ WeightedGraph bench_graph(std::size_t n) {
 struct Case {
   std::string name;
   double ns;
+  /// Process peak RSS (VmHWM) sampled right after the row ran. A
+  /// high-water mark: monotone across rows, so a row's value bounds
+  /// everything up to and including it — the big-memory rows run last
+  /// so the small rows keep meaningful readings.
+  std::size_t peak_rss = 0;
 };
+
+/// Measure one row and stamp the post-row RSS high-water mark.
+Case make_case(std::string name, const std::function<void()>& body,
+               int repeats) {
+  const double ns = measure_ns(body, repeats);
+  return Case{std::move(name), ns, peak_rss_bytes()};
+}
 
 /// One run_trials workload measured across thread counts; rendered as a
 /// "thread_scaling" JSON object with per-count parallel efficiency
@@ -219,6 +231,13 @@ int write_json(const std::string& out, const char* bench,
   for (std::size_t i = 0; i < cases.size(); ++i)
     std::fprintf(f, "    \"%s\": %.0f%s\n", cases[i].name.c_str(),
                  cases[i].ns, i + 1 < cases.size() ? "," : "");
+  std::fprintf(f, "  },\n");
+  // Peak RSS (VmHWM) after each row, in row order. Monotone by
+  // construction; the last row's value is the whole run's peak.
+  std::fprintf(f, "  \"peak_rss_bytes\": {\n");
+  for (std::size_t i = 0; i < cases.size(); ++i)
+    std::fprintf(f, "    \"%s\": %zu%s\n", cases[i].name.c_str(),
+                 cases[i].peak_rss, i + 1 < cases.size() ? "," : "");
   std::fprintf(f, "  }");
   for (const BaselineBlock& b : baselines) {
     std::fprintf(f, ",\n  \"%s\": {\n", b.speedup_key);
@@ -262,58 +281,55 @@ std::vector<Case> run_graph_cases(int repeats, std::size_t dim,
   assign_random_uniform_latency(g, 1, 8, grng);
   const std::size_t n = g.num_nodes();
 
-  cases.push_back({"graph_build" + suffix, measure_ns(
-                                               [&] {
-                                                 auto gg = make_hypercube(dim);
-                                                 volatile auto m =
-                                                     gg.num_edges();
-                                                 (void)m;
-                                               },
-                                               std::max(repeats / 2, 2))});
-  cases.push_back({"find_edge" + suffix,
-                   measure_ns(
-                       [&] {
-                         Rng r(7);
-                         std::size_t acc = 0;
-                         for (int i = 0; i < find_edge_probes; ++i) {
-                           if (i & 1) {
-                             const Edge& e = g.edges()[r.uniform(g.num_edges())];
-                             acc += g.find_edge(e.u, e.v).value();
-                           } else {
-                             acc += g.find_edge(static_cast<NodeId>(r.uniform(n)),
-                                                static_cast<NodeId>(r.uniform(n)))
-                                        .value_or(0);
-                           }
-                         }
-                         volatile auto a = acc;
-                         (void)a;
-                       },
-                       repeats)});
-  cases.push_back({"neighbor_scan" + suffix,
-                   measure_ns(
-                       [&] {
-                         std::size_t acc = 0;
-                         for (NodeId u = 0; u < n; ++u)
-                           for (const HalfEdge& h : g.neighbors(u))
-                             acc += h.to +
-                                    static_cast<std::size_t>(g.latency(h.edge));
-                         volatile auto a = acc;
-                         (void)a;
-                       },
-                       repeats)});
-  cases.push_back({"bfs" + suffix, measure_ns(
-                                       [&] {
-                                         volatile auto h = bfs_hops(g, 0).back();
-                                         (void)h;
-                                       },
-                                       repeats)});
-  cases.push_back({"dijkstra" + suffix, measure_ns(
-                                            [&] {
-                                              volatile auto d =
-                                                  dijkstra(g, 0).back();
-                                              (void)d;
-                                            },
-                                            repeats)});
+  cases.push_back(make_case("graph_build" + suffix,
+                            [&] {
+                              auto gg = make_hypercube(dim);
+                              volatile auto m = gg.num_edges();
+                              (void)m;
+                            },
+                            std::max(repeats / 2, 2)));
+  cases.push_back(make_case(
+      "find_edge" + suffix,
+      [&] {
+        Rng r(7);
+        std::size_t acc = 0;
+        for (int i = 0; i < find_edge_probes; ++i) {
+          if (i & 1) {
+            const Edge& e = g.edges()[r.uniform(g.num_edges())];
+            acc += g.find_edge(e.u, e.v).value();
+          } else {
+            acc += g.find_edge(static_cast<NodeId>(r.uniform(n)),
+                               static_cast<NodeId>(r.uniform(n)))
+                       .value_or(0);
+          }
+        }
+        volatile auto a = acc;
+        (void)a;
+      },
+      repeats));
+  cases.push_back(make_case(
+      "neighbor_scan" + suffix,
+      [&] {
+        std::size_t acc = 0;
+        for (NodeId u = 0; u < n; ++u)
+          for (const HalfEdge& h : g.neighbors(u))
+            acc += h.to + static_cast<std::size_t>(g.latency(h.edge));
+        volatile auto a = acc;
+        (void)a;
+      },
+      repeats));
+  cases.push_back(make_case("bfs" + suffix,
+                            [&] {
+                              volatile auto h = bfs_hops(g, 0).back();
+                              (void)h;
+                            },
+                            repeats));
+  cases.push_back(make_case("dijkstra" + suffix,
+                            [&] {
+                              volatile auto d = dijkstra(g, 0).back();
+                              (void)d;
+                            },
+                            repeats));
   return cases;
 }
 
@@ -342,34 +358,33 @@ int main(int argc, char** argv) {
   for (std::size_t n : broadcast_sizes) {
     const WeightedGraph g = bench_graph(n);
     std::uint64_t seed = 0;
-    cases.push_back({"pushpull_broadcast_" + std::to_string(n),
-                     measure_ns(
-                         [&] {
-                           NetworkView view(g, false);
-                           PushPullBroadcast proto(view, 0, Rng(++seed));
-                           SimOptions opts;
-                           opts.max_rounds = 1'000'000;
-                           (void)run_gossip(g, proto, opts);
-                         },
-                         repeats)});
+    cases.push_back(make_case(
+        "pushpull_broadcast_" + std::to_string(n),
+        [&] {
+          NetworkView view(g, false);
+          PushPullBroadcast proto(view, 0, Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          (void)run_gossip(g, proto, opts);
+        },
+        repeats));
   }
 
   {
     const WeightedGraph g = bench_graph(big_n);
     std::uint64_t seed = 0;
     std::size_t sink = 0;
-    cases.push_back({"pushpull_broadcast_" + std::to_string(big_n) + "_hooked",
-                     measure_ns(
-                         [&] {
-                           NetworkView view(g, false);
-                           PushPullBroadcast proto(view, 0, Rng(++seed));
-                           SimOptions opts;
-                           opts.max_rounds = 1'000'000;
-                           opts.on_activation =
-                               [&](NodeId, NodeId, EdgeId, Round) { ++sink; };
-                           (void)run_gossip(g, proto, opts);
-                         },
-                         repeats)});
+    cases.push_back(make_case(
+        "pushpull_broadcast_" + std::to_string(big_n) + "_hooked",
+        [&] {
+          NetworkView view(g, false);
+          PushPullBroadcast proto(view, 0, Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          opts.on_activation = [&](NodeId, NodeId, EdgeId, Round) { ++sink; };
+          (void)run_gossip(g, proto, opts);
+        },
+        repeats));
   }
 
   {
@@ -380,22 +395,21 @@ int main(int argc, char** argv) {
     const WeightedGraph g = bench_graph(big_n);
     std::uint64_t seed = 0;
     EventRecorder recorder;
-    cases.push_back(
-        {"pushpull_broadcast_" + std::to_string(big_n) + "_recorded",
-         measure_ns(
-             [&] {
-               recorder.clear();
-               NetworkView view(g, false);
-               PushPullBroadcast proto(view, 0, Rng(++seed));
-               SimOptions opts;
-               opts.max_rounds = 1'000'000;
-               opts.recorder = &recorder;
-               SimResult r = run_gossip(g, proto, opts);
-               r.fingerprint = recorder.fingerprint();
-               volatile auto fp = r.fingerprint;
-               (void)fp;
-             },
-             repeats)});
+    cases.push_back(make_case(
+        "pushpull_broadcast_" + std::to_string(big_n) + "_recorded",
+        [&] {
+          recorder.clear();
+          NetworkView view(g, false);
+          PushPullBroadcast proto(view, 0, Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          opts.recorder = &recorder;
+          SimResult r = run_gossip(g, proto, opts);
+          r.fingerprint = recorder.fingerprint();
+          volatile auto fp = r.fingerprint;
+          (void)fp;
+        },
+        repeats));
   }
 
   // All-to-all rumor-set rows: the copy-on-write snapshot payload path
@@ -406,18 +420,44 @@ int main(int argc, char** argv) {
   for (std::size_t n : a2a_sizes) {
     const WeightedGraph g = bench_graph(n);
     std::uint64_t seed = 0;
-    cases.push_back({"pushpull_alltoall_" + std::to_string(n),
-                     measure_ns(
-                         [&] {
-                           NetworkView view(g, false);
-                           PushPullGossip proto(view, GossipGoal::kAllToAll, 0,
-                                                PushPullGossip::own_id_rumors(n),
-                                                Rng(++seed));
-                           SimOptions opts;
-                           opts.max_rounds = 1'000'000;
-                           (void)run_gossip(g, proto, opts);
-                         },
-                         repeats)});
+    cases.push_back(make_case(
+        "pushpull_alltoall_" + std::to_string(n),
+        [&] {
+          NetworkView view(g, false);
+          PushPullGossip proto(view, GossipGoal::kAllToAll, 0,
+                               PushPullGossip::own_id_rumors(n), Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          (void)run_gossip(g, proto, opts);
+        },
+        repeats));
+  }
+
+  {
+    // Representation-threshold documentation (util/rumor_set.h,
+    // kDenseNodeThreshold): the same all-to-all workload under the
+    // sparse and counting representations. Below the crossover dense
+    // must win — in all-to-all every sparse set promotes to dense
+    // mid-run anyway, so these rows price the abstraction, not a new
+    // algorithm. Compare against pushpull_alltoall_<big_n> above.
+    const std::size_t n = big_n;
+    const WeightedGraph g = bench_graph(n);
+    std::uint64_t seed = 0;
+    const auto rep_row = [&]<RumorSetRep R>(const char* rep_name) {
+      cases.push_back(make_case(
+          "pushpull_alltoall_" + std::to_string(n) + "_" + rep_name,
+          [&] {
+            NetworkView view(g, false);
+            BasicPushPullGossip<R> proto(view, GossipGoal::kAllToAll, 0,
+                                         own_id_rumor_sets<R>(n), Rng(++seed));
+            SimOptions opts;
+            opts.max_rounds = 1'000'000;
+            (void)run_gossip(g, proto, opts);
+          },
+          repeats));
+    };
+    rep_row.template operator()<SparseRumorSet>("sparse");
+    rep_row.template operator()<CountRumorSet>("count");
   }
 
   {
@@ -429,12 +469,12 @@ int main(int argc, char** argv) {
     auto g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), grng);
     assign_random_uniform_latency(g, 1, 8, grng);
     std::uint64_t seed = 0;
-    cases.push_back({"eid_alltoall", measure_ns(
-                                         [&] {
-                                           Rng rng(++seed);
-                                           (void)run_general_eid(g, n, rng);
-                                         },
-                                         repeats)});
+    cases.push_back(make_case("eid_alltoall",
+                              [&] {
+                                Rng rng(++seed);
+                                (void)run_general_eid(g, n, rng);
+                              },
+                              repeats));
   }
 
   // The run_trials rows use the workspace overload — the production
@@ -460,10 +500,11 @@ int main(int argc, char** argv) {
     ScalingEntry entry{family, {}};
     for (std::size_t threads : {1u, 2u, 4u, 8u}) {
       const auto fn = reusing_trial(g);
-      const double ns = measure_ns(
-          [&] { (void)run_trials(trials, threads, 99, fn); }, repeats);
-      cases.push_back({family + "_t" + std::to_string(threads), ns});
-      entry.ns_by_threads.emplace_back(threads, ns);
+      cases.push_back(
+          make_case(family + "_t" + std::to_string(threads),
+                    [&] { (void)run_trials(trials, threads, 99, fn); },
+                    repeats));
+      entry.ns_by_threads.emplace_back(threads, cases.back().ns);
     }
     scaling.push_back(std::move(entry));
   };
@@ -492,6 +533,51 @@ int main(int argc, char** argv) {
     const std::size_t sweep_trials = smoke ? 200 : 10'000;
     const WeightedGraph g = bench_graph(64);
     bench_trials_family("run_trials_10k_sweep", g, sweep_trials);
+  }
+
+  {
+    // Million-node rows (ROADMAP item 2) — last, so their memory
+    // high-water mark does not pollute the per-row RSS readings above.
+    // Substrate: streaming random-regular d=8 (graph/generators.h) —
+    // built through the two-pass CSR path, no intermediate edge list.
+    const std::size_t mn = smoke ? 8192 : 1'000'000;
+    const std::string mn_tag = smoke ? std::to_string(mn) : "1M";
+    const int mn_repeats = std::max(repeats / 2, 1);
+    Rng grng(1);
+    WeightedGraph g = make_random_regular_streaming(mn, 8, 1);
+    assign_random_uniform_latency(g, 1, 8, grng);
+    std::uint64_t seed = 0;
+    // Boolean-payload broadcast: the engine + calendar queue at 10^6
+    // nodes, representation-independent.
+    cases.push_back(make_case(
+        "pushpull_broadcast_" + mn_tag,
+        [&] {
+          NetworkView view(g, false);
+          PushPullBroadcast proto(view, 0, Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          (void)run_gossip(g, proto, opts);
+        },
+        mn_repeats));
+    // Rumor-set single-source gossip under the sparse representation:
+    // every set stays at <= 1 element, so per-node cost is O(1) where a
+    // dense layout would need n^2/8 = 125 GB just for the sets. The
+    // dense counterpart is unrunnable at this size — that asymmetry IS
+    // the result; see DESIGN.md §5i.
+    cases.push_back(make_case(
+        "pushpull_gossip_sparse_" + mn_tag,
+        [&] {
+          NetworkView view(g, false);
+          std::vector<SparseRumorSet> rumors(mn, SparseRumorSet(mn));
+          rumors[0].set(0);
+          BasicPushPullGossip<SparseRumorSet> proto(
+              view, GossipGoal::kSingleSource, 0, std::move(rumors),
+              Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          (void)run_gossip(g, proto, opts);
+        },
+        mn_repeats));
   }
 
   const std::vector<BaselineBlock> engine_baselines = {

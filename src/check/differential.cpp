@@ -106,6 +106,71 @@ RunArtifacts run_simple_once(const TestCase& tc, const WeightedGraph& g,
   return a;
 }
 
+/// True for the protocols whose payloads are rumor sets — the ones the
+/// representation layer (util/rumor_set.h) re-parameterizes.
+bool proto_carries_rumor_sets(CheckProto proto) {
+  return proto == CheckProto::kFlooding ||
+         proto == CheckProto::kGossipAllToAll ||
+         proto == CheckProto::kGossipLocal;
+}
+
+/// Engine-only rerun of a rumor-set case under representation R, with
+/// the identical seeds, fault plan, and jitter as run_simple_once. The
+/// cross-representation half of the differential contract: every
+/// representation must reproduce the dense run's SimResult and event
+/// fingerprint bit for bit.
+template <RumorSetRep R>
+SimResult run_rumor_rep_once(const TestCase& tc, const WeightedGraph& g) {
+  EventRecorder recorder;
+  SimOptions opts;
+  opts.max_rounds = tc.max_rounds;
+  opts.blocking = tc.blocking;
+  opts.max_incoming_per_round = tc.max_incoming_per_round;
+  opts.recorder = &recorder;
+
+  FaultPlan plan(tc.num_nodes, tc.seed ^ kFaultSeedSalt);
+  if (tc.faults.crash_count > 0)
+    plan.crash_random_nodes(tc.faults.crash_count, tc.faults.crash_round,
+                            tc.source);
+  if (tc.faults.drop_probability > 0.0)
+    plan.set_link_drop_probability(tc.faults.drop_probability);
+  if (tc.faults.any()) plan.apply(opts);
+  if (tc.jitter_spread > 0)
+    opts.latency_jitter =
+        make_uniform_jitter(tc.jitter_spread, tc.seed ^ kJitterSeedSalt);
+
+  NetworkView view(g, /*latencies_known=*/false);
+  SimResult result;
+  switch (tc.proto) {
+    case CheckProto::kFlooding: {
+      BasicRoundRobinFlooding<R> proto(view, GossipGoal::kSingleSource,
+                                       tc.source,
+                                       own_id_rumor_sets<R>(tc.num_nodes));
+      result = run_gossip(g, proto, opts);
+      break;
+    }
+    case CheckProto::kGossipAllToAll: {
+      BasicPushPullGossip<R> proto(view, GossipGoal::kAllToAll, tc.source,
+                                   own_id_rumor_sets<R>(tc.num_nodes),
+                                   Rng(tc.seed));
+      result = run_gossip(g, proto, opts);
+      break;
+    }
+    case CheckProto::kGossipLocal: {
+      BasicPushPullGossip<R> proto(view, GossipGoal::kLocalBroadcast,
+                                   tc.source,
+                                   own_id_rumor_sets<R>(tc.num_nodes),
+                                   Rng(tc.seed));
+      result = run_gossip(g, proto, opts);
+      break;
+    }
+    default:
+      throw std::logic_error("run_rumor_rep_once: not a rumor-set protocol");
+  }
+  result.fingerprint = recorder.fingerprint();
+  return result;
+}
+
 template <typename T>
 void compare_field(DiffReport& rep, const char* name, const T& engine,
                    const T& oracle) {
@@ -131,6 +196,17 @@ void compare_sim_results(DiffReport& rep, const SimResult& e,
   compare_field(rep, "fingerprint", e.fingerprint, o.fingerprint);
 }
 
+/// Compare a non-dense representation's run against the dense engine
+/// run, prefixing any divergence with the representation's name. (The
+/// diverging value prints on the "engine=" side of the message.)
+void compare_rep_results(DiffReport& rep, const char* rep_name,
+                         const SimResult& dense, const SimResult& alt) {
+  const std::size_t before = rep.failures.size();
+  compare_sim_results(rep, alt, dense);
+  for (std::size_t i = before; i < rep.failures.size(); ++i)
+    rep.failures[i] = std::string(rep_name) + " rep " + rep.failures[i];
+}
+
 void apply_invariants(DiffReport& rep, const InvariantInput& in,
                       const std::string& label) {
   for (std::string& f : check_invariants(in, label))
@@ -147,6 +223,16 @@ DiffReport diff_simple(const TestCase& tc, const WeightedGraph& g,
   rep.engine_fingerprint = engine.result.fingerprint;
   rep.oracle_fingerprint = oracle.result.fingerprint;
   compare_sim_results(rep, engine.result, oracle.result);
+
+  // Cross-representation leg: replay rumor-set cases under the sparse
+  // and counting representations; both must match the dense engine run
+  // exactly (same SimResult, same event fingerprint).
+  if (proto_carries_rumor_sets(tc.proto)) {
+    compare_rep_results(rep, "sparse", engine.result,
+                        run_rumor_rep_once<SparseRumorSet>(tc, g));
+    compare_rep_results(rep, "count", engine.result,
+                        run_rumor_rep_once<CountRumorSet>(tc, g));
+  }
 
   for (const RunArtifacts* side : {&engine, &oracle}) {
     InvariantInput in;

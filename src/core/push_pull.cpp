@@ -6,6 +6,11 @@
 
 namespace latgossip {
 
+// BasicPushPullGossip is header-only (core/push_pull.h): it is templated
+// over the rumor-set representation, and the dense instantiation must
+// inline into run_gossip_impl's event loop in every caller TU. Only the
+// untemplated boolean-payload broadcast variants live here.
+
 PushPullBroadcast::PushPullBroadcast(const NetworkView& view, NodeId source,
                                      Rng rng)
     : view_(view),
@@ -109,79 +114,6 @@ void BiasedPushPullBroadcast::deliver(NodeId u, NodeId, Payload payload,
 
 bool BiasedPushPullBroadcast::done(Round) const {
   return informed_count_ == informed_.size();
-}
-
-PushPullGossip::PushPullGossip(const NetworkView& view, GossipGoal goal,
-                               NodeId source,
-                               std::vector<Bitset> initial_rumors, Rng rng)
-    : view_(view),
-      goal_(goal),
-      source_(source),
-      rng_(rng),
-      rumors_(std::move(initial_rumors)),
-      rumor_count_(view.num_nodes(), 0),
-      snapshots_(view.num_nodes(), view.num_nodes()),
-      satisfied_(view.num_nodes(), false) {
-  if (rumors_.size() != view.num_nodes())
-    throw std::invalid_argument("push-pull: rumor vector size mismatch");
-  if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
-    throw std::invalid_argument("push-pull: bad source");
-  for (NodeId u = 0; u < view.num_nodes(); ++u) {
-    if (rumors_[u].size() != view.num_nodes())
-      throw std::invalid_argument("push-pull: rumor bitset size mismatch");
-    rumor_count_[u] = rumors_[u].count();
-    refresh_satisfied(u);
-  }
-}
-
-void PushPullGossip::reset_own_id(const NetworkView& view, GossipGoal goal,
-                                  NodeId source, Rng rng) {
-  const std::size_t n = view.num_nodes();
-  if (goal == GossipGoal::kSingleSource && source >= n)
-    throw std::invalid_argument("push-pull: bad source");
-  view_ = view;
-  goal_ = goal;
-  source_ = source;
-  rng_ = rng;
-  // Release the cached snapshot refs first so the arena reset below sees
-  // every block back in its pool (its precondition).
-  snapshots_.reset(n, n);
-  rumors_.resize(n);
-  rumor_count_.assign(n, 1);
-  for (NodeId u = 0; u < n; ++u) {
-    rumors_[u].reinit(n);
-    rumors_[u].set(u);
-  }
-  satisfied_.assign(n, false);
-  satisfied_count_ = 0;
-  for (NodeId u = 0; u < n; ++u) refresh_satisfied(u);
-}
-
-std::vector<Bitset> PushPullGossip::own_id_rumors(std::size_t n) {
-  std::vector<Bitset> r(n, Bitset(n));
-  for (std::size_t u = 0; u < n; ++u) r[u].set(u);
-  return r;
-}
-
-bool PushPullGossip::node_satisfied(NodeId u) const {
-  switch (goal_) {
-    case GossipGoal::kSingleSource:
-      return rumors_[u].test(source_);
-    case GossipGoal::kAllToAll:
-      return rumor_count_[u] == view_.num_nodes();
-    case GossipGoal::kLocalBroadcast:
-      for (const HalfEdge& h : view_.neighbors(u))
-        if (!rumors_[u].test(h.to)) return false;
-      return true;
-  }
-  return false;
-}
-
-void PushPullGossip::refresh_satisfied(NodeId u) {
-  if (node_satisfied(u)) {
-    satisfied_[u] = true;
-    ++satisfied_count_;
-  }
 }
 
 }  // namespace latgossip

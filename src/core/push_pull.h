@@ -8,16 +8,21 @@
 // Two variants:
 //  * PushPullBroadcast — single-source rumor, boolean payloads (fast;
 //    used by the large-scale Theorem 12 experiments).
-//  * PushPullGossip — full rumor sets with a configurable completion
-//    goal (single-source / all-to-all / local broadcast), used by the
-//    lower-bound experiments and the unified algorithm.
+//  * BasicPushPullGossip<R> — full rumor sets with a configurable
+//    completion goal (single-source / all-to-all / local broadcast),
+//    used by the lower-bound experiments and the unified algorithm.
+//    Templated over the rumor-set representation (util/rumor_set.h);
+//    PushPullGossip aliases the dense Bitset instantiation, so the
+//    historical fast path compiles to exactly the same code.
 
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/rumor_set.h"
 #include "util/snapshot.h"
 
 namespace latgossip {
@@ -103,69 +108,171 @@ class BiasedPushPullBroadcast {
   std::size_t informed_count_ = 0;
 };
 
-class PushPullGossip {
+template <RumorSetRep R>
+class BasicPushPullGossip {
  public:
   /// Copy-on-write snapshot handle (util/snapshot.h): capture re-copies
   /// a node's rumor set only after it changed, and scheduling/delivery
   /// move refcounted pointers instead of heap-copying n-bit sets.
-  using Payload = SnapshotRef;
+  using Payload = BasicSnapshotRef<R>;
+  using RumorSet = R;
 
   /// `initial_rumors[u]` is u's starting rumor set; for the usual case
   /// use own_id_rumors(). `source` is only meaningful for
   /// GossipGoal::kSingleSource.
-  PushPullGossip(const NetworkView& view, GossipGoal goal, NodeId source,
-                 std::vector<Bitset> initial_rumors, Rng rng);
+  BasicPushPullGossip(const NetworkView& view, GossipGoal goal, NodeId source,
+                      std::vector<R> initial_rumors, Rng rng)
+      : view_(view),
+        goal_(goal),
+        source_(source),
+        rng_(rng),
+        rumors_(std::move(initial_rumors)),
+        rumor_count_(view.num_nodes(), 0),
+        snapshots_(view.num_nodes(), view.num_nodes()),
+        satisfied_(view.num_nodes(), false) {
+    if (rumors_.size() != view.num_nodes())
+      throw std::invalid_argument("push-pull: rumor vector size mismatch");
+    if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
+      throw std::invalid_argument("push-pull: bad source");
+    for (NodeId u = 0; u < view.num_nodes(); ++u) {
+      if (rumors_[u].size() != view.num_nodes())
+        throw std::invalid_argument("push-pull: rumor bitset size mismatch");
+      rumor_count_[u] = rumors_[u].count();
+      refresh_satisfied(u);
+    }
+  }
 
   /// Re-arm for a new trial with own_id_rumors(n) starting sets, rebuilt
-  /// in place (no fresh Bitset vector, no new snapshot arena; see
+  /// in place (no fresh rumor-set vector, no new snapshot arena; see
   /// DESIGN.md §5h). Allocation-free when the node count is unchanged.
-  /// Precondition: no SnapshotRef from the previous run is still alive
+  /// Precondition: no payload ref from the previous run is still alive
   /// outside this protocol — true at trial boundaries because the
   /// engine releases pending deliveries before run_gossip returns.
   void reset_own_id(const NetworkView& view, GossipGoal goal, NodeId source,
-                    Rng rng);
+                    Rng rng) {
+    const std::size_t n = view.num_nodes();
+    if (goal == GossipGoal::kSingleSource && source >= n)
+      throw std::invalid_argument("push-pull: bad source");
+    view_ = view;
+    goal_ = goal;
+    source_ = source;
+    rng_ = rng;
+    // Release the cached snapshot refs first so the arena reset below
+    // sees every block back in its pool (its precondition).
+    snapshots_.reset(n, n);
+    rumors_.resize(n);
+    rumor_count_.assign(n, 1);
+    for (NodeId u = 0; u < n; ++u) {
+      rumors_[u].reinit(n);
+      rumors_[u].set(u);
+    }
+    satisfied_.assign(n, false);
+    satisfied_count_ = 0;
+    for (NodeId u = 0; u < n; ++u) refresh_satisfied(u);
+  }
 
-  static std::vector<Bitset> own_id_rumors(std::size_t n);
+  static std::vector<R> own_id_rumors(std::size_t n) {
+    return own_id_rumor_sets<R>(n);
+  }
 
   /// Rumor sets cost ~32 bits per carried rumor id. The count is cached
-  /// on the snapshot — no per-payload word re-scan.
+  /// on the snapshot — no per-payload re-scan.
   static std::size_t payload_bits(const Payload& p) { return 32 * p.count(); }
 
-  std::optional<Contact> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r);
+  std::optional<Contact> select_contact(NodeId u, Round /*r*/) {
+    const auto neigh = view_.neighbors(u);
+    if (neigh.empty()) return std::nullopt;
+    const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
+    return Contact{h.to, h.edge};
+  }
+
+  Payload capture_payload(NodeId u, Round /*r*/) {
+    return snapshots_.shared(u, rumors_[u], rumor_count_[u]);
+  }
+
   /// Naive always-deep-copy capture; the reference oracle uses this so
   /// differential sweeps prove snapshot sharing ≡ copy-at-capture.
-  Payload capture_payload_copy(NodeId u, Round r);
-  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
-               Round now);
-  /// Warm u's rumor words + count ahead of deliver(u, ...) — called by
-  /// the engine one delivery ahead (sim/engine.h).
-  void prefetch_deliver(NodeId u) const noexcept;
-  bool done(Round r) const;
+  Payload capture_payload_copy(NodeId u, Round /*r*/) {
+    return snapshots_.fresh(rumors_[u], rumor_count_[u]);
+  }
 
-  const std::vector<Bitset>& rumors() const { return rumors_; }
-  std::vector<Bitset> take_rumors() { return std::move(rumors_); }
+  void deliver(NodeId u, NodeId /*peer*/, Payload payload, EdgeId /*e*/,
+               Round /*start*/, Round /*now*/) {
+    // A receiver that already holds every rumor cannot gain from any
+    // payload; returning before the union avoids touching the payload's
+    // (usually cold) snapshot words in the late all-to-all rounds, where
+    // most deliveries are no-ops.
+    if (rumor_count_[u] == rumors_.size()) return;
+    const typename R::OrDelta delta =
+        rumors_[u].or_assign_changed(payload.bits());
+    if (!delta.changed) return;
+    rumor_count_[u] += delta.added;
+    snapshots_.invalidate(u);
+    if (!satisfied_[u]) refresh_satisfied(u);
+  }
+
+  /// Warm u's rumor storage + count ahead of deliver(u, ...) — called by
+  /// the engine one delivery ahead (sim/engine.h).
+  void prefetch_deliver(NodeId u) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&rumor_count_[u], 0, 1);
+#endif
+    prefetch_rumor_set(rumors_[u]);
+  }
+
+  bool done(Round /*r*/) const {
+    return satisfied_count_ == satisfied_.size();
+  }
+
+  const std::vector<R>& rumors() const { return rumors_; }
+  std::vector<R> take_rumors() { return std::move(rumors_); }
 
   /// Arena statistics (allocated/pooled blocks, copies performed) —
   /// instrumentation for tests and perf probes.
-  const SnapshotArena& snapshot_arena() const { return snapshots_.arena(); }
+  const BasicSnapshotArena<R>& snapshot_arena() const {
+    return snapshots_.arena();
+  }
 
  private:
-  bool node_satisfied(NodeId u) const;
-  void refresh_satisfied(NodeId u);
+  bool node_satisfied(NodeId u) const {
+    switch (goal_) {
+      case GossipGoal::kSingleSource:
+        return rumors_[u].test(source_);
+      case GossipGoal::kAllToAll:
+        return rumor_count_[u] == view_.num_nodes();
+      case GossipGoal::kLocalBroadcast:
+        for (const HalfEdge& h : view_.neighbors(u))
+          if (!rumors_[u].test(h.to)) return false;
+        return true;
+    }
+    return false;
+  }
+
+  void refresh_satisfied(NodeId u) {
+    if (node_satisfied(u)) {
+      satisfied_[u] = true;
+      ++satisfied_count_;
+    }
+  }
 
   NetworkView view_;
   GossipGoal goal_;
   NodeId source_;
   Rng rng_;
-  std::vector<Bitset> rumors_;
+  std::vector<R> rumors_;
   /// rumors_[u].count(), maintained incrementally from deliver()'s
   /// OrDelta — the all-to-all done() check never re-popcounts.
   std::vector<std::size_t> rumor_count_;
-  SnapshotCache snapshots_;
+  BasicSnapshotCache<R> snapshots_;
   std::vector<bool> satisfied_;
   std::size_t satisfied_count_ = 0;
 };
+
+/// The dense fast path under its historical name: every pre-existing
+/// call site (unified, EID, CLI, benches, tests) compiles against this
+/// alias unchanged, and the Bitset instantiation inlines into
+/// run_gossip_impl exactly as the untemplated class did.
+using PushPullGossip = BasicPushPullGossip<Bitset>;
 
 // ---------------------------------------------------------------------------
 // Hot-path definitions. select/capture/deliver run tens of thousands of
@@ -194,49 +301,5 @@ inline void PushPullBroadcast::deliver(NodeId u, NodeId, Payload payload,
 }
 
 inline bool PushPullBroadcast::done(Round) const { return informed_.all_set(); }
-
-inline std::optional<Contact> PushPullGossip::select_contact(NodeId u, Round) {
-  const auto neigh = view_.neighbors(u);
-  if (neigh.empty()) return std::nullopt;
-  const HalfEdge& h = neigh[rng_.uniform(neigh.size())];
-  return Contact{h.to, h.edge};
-}
-
-inline PushPullGossip::Payload PushPullGossip::capture_payload(NodeId u,
-                                                               Round) {
-  return snapshots_.shared(u, rumors_[u], rumor_count_[u]);
-}
-
-inline PushPullGossip::Payload PushPullGossip::capture_payload_copy(NodeId u,
-                                                                    Round) {
-  return snapshots_.fresh(rumors_[u], rumor_count_[u]);
-}
-
-inline void PushPullGossip::deliver(NodeId u, NodeId, Payload payload, EdgeId,
-                                    Round, Round) {
-  // A receiver that already holds every rumor cannot gain from any
-  // payload; returning before the union avoids touching the payload's
-  // (usually cold) snapshot words in the late all-to-all rounds, where
-  // most deliveries are no-ops.
-  if (rumor_count_[u] == rumors_.size()) return;
-  const Bitset::OrDelta delta = rumors_[u].or_assign_changed(payload.bits());
-  if (!delta.changed) return;
-  rumor_count_[u] += delta.added;
-  snapshots_.invalidate(u);
-  if (!satisfied_[u]) refresh_satisfied(u);
-}
-
-inline void PushPullGossip::prefetch_deliver(NodeId u) const noexcept {
-#if defined(__GNUC__) || defined(__clang__)
-  __builtin_prefetch(&rumor_count_[u], 0, 1);
-  const auto w = rumors_[u].words();
-  __builtin_prefetch(w.data(), /*rw=*/1, /*locality=*/1);
-  __builtin_prefetch(reinterpret_cast<const char*>(w.data()) + 64, 1, 1);
-#endif
-}
-
-inline bool PushPullGossip::done(Round) const {
-  return satisfied_count_ == satisfied_.size();
-}
 
 }  // namespace latgossip

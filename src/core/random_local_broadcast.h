@@ -18,60 +18,146 @@
 //
 // Like DTG this requires known latencies and must run with
 // SimOptions::stop_when_idle = false.
+//
+// Templated over the rumor-set representation (util/rumor_set.h);
+// RandomLocalBroadcast aliases the dense Bitset instantiation.
 
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/rumor_set.h"
 #include "util/snapshot.h"
 
 namespace latgossip {
 
-class RandomLocalBroadcast {
+template <RumorSetRep R>
+class BasicRandomLocalBroadcast {
  public:
-  /// Copy-on-write snapshot handles — see DtgLocalBroadcast::Payload.
+  /// Copy-on-write snapshot handles — see BasicDtgLocalBroadcast.
   struct Payload {
-    SnapshotRef data;
-    SnapshotRef session;
+    BasicSnapshotRef<R> data;
+    BasicSnapshotRef<R> session;
   };
+  using RumorSet = R;
 
   static std::size_t payload_bits(const Payload& p) {
     return 32 * (p.data.count() + p.session.count());
   }
 
-  RandomLocalBroadcast(const NetworkView& view, Latency ell,
-                       std::vector<Bitset> initial_rumors, Rng rng);
+  BasicRandomLocalBroadcast(const NetworkView& view, Latency ell,
+                            std::vector<R> initial_rumors, Rng rng)
+      : view_(view),
+        ell_(ell),
+        rng_(rng),
+        data_snaps_(view.num_nodes(), view.num_nodes()),
+        session_snaps_(view.num_nodes(), view.num_nodes()) {
+    if (!view.latencies_known())
+      throw std::invalid_argument(
+          "random local broadcast requires the known-latency model");
+    if (ell < 1)
+      throw std::invalid_argument("random local broadcast: ell must be >= 1");
+    const std::size_t n = view.num_nodes();
+    if (initial_rumors.size() != n)
+      throw std::invalid_argument(
+          "random local broadcast: rumor size mismatch");
+    master_ = std::move(initial_rumors);
+    master_count_.assign(n, 0);
+    session_count_.assign(n, 1);
+    ell_neighbors_.resize(n);
+    session_.reserve(n);
+    active_.assign(n, true);
+    for (NodeId u = 0; u < n; ++u) {
+      if (master_[u].size() != n)
+        throw std::invalid_argument(
+            "random local broadcast: rumor bitset size mismatch");
+      master_[u].set(u);
+      master_count_[u] = master_[u].count();
+      for (const HalfEdge& h : view.neighbors(u))
+        if (view.latency(h.edge) <= ell) ell_neighbors_[u].push_back(h.to);
+      R s(n);
+      s.set(u);
+      session_.push_back(std::move(s));
+    }
+    active_count_ = n;
+  }
 
-  static std::vector<Bitset> own_id_rumors(std::size_t n);
+  static std::vector<R> own_id_rumors(std::size_t n) {
+    return own_id_rumor_sets<R>(n);
+  }
 
-  std::optional<NodeId> select_contact(NodeId u, Round r);
-  Payload capture_payload(NodeId u, Round r);
+  std::optional<NodeId> select_contact(NodeId u, Round r) {
+    if (r % ell_ != 0) return std::nullopt;
+    if (!active_[u]) return std::nullopt;
+    // Collect the not-yet-heard G_ell neighbors and pick one uniformly.
+    std::vector<NodeId> missing;
+    for (NodeId w : ell_neighbors_[u])
+      if (!session_[u].test(w)) missing.push_back(w);
+    if (missing.empty()) {
+      active_[u] = false;
+      --active_count_;
+      return std::nullopt;
+    }
+    return missing[rng_.uniform(missing.size())];
+  }
+
+  Payload capture_payload(NodeId u, Round /*r*/) {
+    return Payload{data_snaps_.shared(u, master_[u], master_count_[u]),
+                   session_snaps_.shared(u, session_[u], session_count_[u])};
+  }
+
   /// Naive deep-copy capture for the reference oracle (sim/oracle.h).
-  Payload capture_payload_copy(NodeId u, Round r);
-  void deliver(NodeId u, NodeId peer, Payload payload, EdgeId e, Round start,
-               Round now);
-  bool done(Round r) const;
+  Payload capture_payload_copy(NodeId u, Round /*r*/) {
+    return Payload{data_snaps_.fresh(master_[u], master_count_[u]),
+                   session_snaps_.fresh(session_[u], session_count_[u])};
+  }
 
-  const std::vector<Bitset>& rumors() const { return master_; }
-  std::vector<Bitset> take_rumors() { return std::move(master_); }
+  void deliver(NodeId u, NodeId /*peer*/, Payload payload, EdgeId /*e*/,
+               Round /*start*/, Round /*now*/) {
+    const typename R::OrDelta dm =
+        master_[u].or_assign_changed(payload.data.bits());
+    master_count_[u] += dm.added;
+    if (dm.changed) data_snaps_.invalidate(u);
+    const typename R::OrDelta ds =
+        session_[u].or_assign_changed(payload.session.bits());
+    session_count_[u] += ds.added;
+    if (ds.changed) session_snaps_.invalidate(u);
+    if (active_[u] && covered(u)) {
+      active_[u] = false;
+      --active_count_;
+    }
+  }
+
+  bool done(Round /*r*/) const { return active_count_ == 0; }
+
+  const std::vector<R>& rumors() const { return master_; }
+  std::vector<R> take_rumors() { return std::move(master_); }
 
  private:
-  bool covered(NodeId u) const;
+  bool covered(NodeId u) const {
+    for (NodeId w : ell_neighbors_[u])
+      if (!session_[u].test(w)) return false;
+    return true;
+  }
 
   NetworkView view_;
   Latency ell_;
   Rng rng_;
   std::vector<std::vector<NodeId>> ell_neighbors_;
-  std::vector<Bitset> master_;
-  std::vector<Bitset> session_;
-  std::vector<std::size_t> master_count_;   ///< incremental popcounts
-  std::vector<std::size_t> session_count_;  ///< incremental popcounts
-  SnapshotCache data_snaps_;
-  SnapshotCache session_snaps_;
+  std::vector<R> master_;
+  std::vector<R> session_;
+  std::vector<std::size_t> master_count_;   ///< incremental cardinalities
+  std::vector<std::size_t> session_count_;  ///< incremental cardinalities
+  BasicSnapshotCache<R> data_snaps_;
+  BasicSnapshotCache<R> session_snaps_;
   std::vector<bool> active_;
   std::size_t active_count_ = 0;
 };
+
+/// Dense instantiation under the historical name.
+using RandomLocalBroadcast = BasicRandomLocalBroadcast<Bitset>;
 
 }  // namespace latgossip

@@ -1,68 +1,12 @@
 #include "core/rr_broadcast.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace latgossip {
 
-RRBroadcast::RRBroadcast(const NetworkView& view,
-                         const DirectedGraph& overlay, Latency k,
-                         std::vector<Bitset> initial_rumors,
-                         Round budget_override)
-    : k_(k),
-      rumors_(std::move(initial_rumors)),
-      rumor_count_(view.num_nodes(), 0),
-      snapshots_(view.num_nodes(), view.num_nodes()) {
-  if (k < 1) throw std::invalid_argument("RR broadcast: k must be >= 1");
-  const std::size_t n = view.num_nodes();
-  if (overlay.num_nodes() != n)
-    throw std::invalid_argument("RR broadcast: overlay size mismatch");
-  if (rumors_.size() != n)
-    throw std::invalid_argument("RR broadcast: rumor vector size mismatch");
-  out_targets_.resize(n);
-  std::size_t max_out = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    if (rumors_[u].size() != n)
-      throw std::invalid_argument("RR broadcast: rumor bitset size mismatch");
-    rumors_[u].set(u);
-    rumor_count_[u] = rumors_[u].count();
-    for (const Arc& a : overlay.out_arcs(u))
-      if (a.latency <= k) out_targets_[u].push_back(a.to);
-    max_out = std::max(max_out, out_targets_[u].size());
-  }
-  budget_ = budget_override != 0
-                ? budget_override
-                : k * static_cast<Round>(max_out) + k;  // Lemma 15
-}
-
-std::optional<NodeId> RRBroadcast::select_contact(NodeId u, Round r) {
-  if (r >= budget_) return std::nullopt;
-  const auto& targets = out_targets_[u];
-  if (targets.empty()) return std::nullopt;
-  return targets[static_cast<std::size_t>(r) % targets.size()];
-}
-
-RRBroadcast::Payload RRBroadcast::capture_payload(NodeId u, Round) {
-  return snapshots_.shared(u, rumors_[u], rumor_count_[u]);
-}
-
-RRBroadcast::Payload RRBroadcast::capture_payload_copy(NodeId u, Round) {
-  return snapshots_.fresh(rumors_[u], rumor_count_[u]);
-}
-
-void RRBroadcast::deliver(NodeId u, NodeId, Payload payload, EdgeId, Round,
-                          Round) {
-  const Bitset::OrDelta delta = rumors_[u].or_assign_changed(payload.bits());
-  if (!delta.changed) return;
-  rumor_count_[u] += delta.added;
-  snapshots_.invalidate(u);
-}
-
-bool RRBroadcast::done(Round r) const {
-  // Allow the final initiations (round budget_-1) to drain: their
-  // deliveries land no later than budget_ - 1 + k.
-  return r >= budget_ + k_;
-}
+// BasicRRBroadcast is header-only (templated over the rumor-set
+// representation); only the dense-Bitset helper functions shared by the
+// composite algorithms live here.
 
 std::vector<Bitset> own_id_rumors(std::size_t n) {
   std::vector<Bitset> r(n, Bitset(n));

@@ -86,4 +86,95 @@ WeightedGraph build_graph(std::size_t n, std::initializer_list<Edge> edges) {
   return b.build();
 }
 
+StreamingCsrBuilder::StreamingCsrBuilder(std::size_t n)
+    : num_nodes_(n), offsets_(n + 1, 0) {
+  if (n > static_cast<std::size_t>(kInvalidNode))
+    throw std::invalid_argument("graph too large for NodeId");
+}
+
+void StreamingCsrBuilder::check_edge_nodes(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_)
+    throw std::out_of_range("node id out of range");
+  if (u == v) throw std::invalid_argument("self-loops are not allowed");
+}
+
+void StreamingCsrBuilder::count_edge(NodeId u, NodeId v) {
+  if (stage_ != Stage::kCounting)
+    throw std::logic_error("count_edge after finish_count");
+  check_edge_nodes(u, v);
+  ++offsets_[u + 1];
+  ++offsets_[v + 1];
+  ++num_edges_;
+}
+
+void StreamingCsrBuilder::finish_count() {
+  if (stage_ != Stage::kCounting)
+    throw std::logic_error("finish_count called twice");
+  if (num_edges_ > static_cast<std::size_t>(kInvalidEdge))
+    throw std::invalid_argument("graph too large for EdgeId");
+  max_degree_ = 0;
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    max_degree_ = std::max(max_degree_, offsets_[u + 1]);
+    offsets_[u + 1] += offsets_[u];
+  }
+  // Exact-size allocations; nothing here is ever resized again.
+  half_edges_.resize(2 * num_edges_);
+  edges_.reserve(num_edges_);
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  counted_edges_ = num_edges_;
+  num_edges_ = 0;
+  stage_ = Stage::kFilling;
+}
+
+void StreamingCsrBuilder::fill_edge(NodeId u, NodeId v, Latency latency) {
+  if (stage_ != Stage::kFilling)
+    throw std::logic_error("fill_edge before finish_count");
+  check_edge_nodes(u, v);
+  if (latency < 1) throw std::invalid_argument("latency must be >= 1");
+  if (num_edges_ == counted_edges_)
+    throw std::invalid_argument(
+        "streaming pass 2 emitted more edges than pass 1");
+  const auto e = static_cast<EdgeId>(num_edges_++);
+  if (cursor_[u] >= offsets_[u + 1] || cursor_[v] >= offsets_[v + 1])
+    throw std::invalid_argument(
+        "streaming pass 2 disagrees with pass 1 degree counts");
+  half_edges_[cursor_[u]++] = HalfEdge{v, e};
+  half_edges_[cursor_[v]++] = HalfEdge{u, e};
+  edges_.push_back(Edge{u, v, latency});
+}
+
+WeightedGraph StreamingCsrBuilder::build() {
+  if (stage_ != Stage::kFilling)
+    throw std::logic_error("build before finish_count");
+  if (num_edges_ != counted_edges_)
+    throw std::invalid_argument(
+        "streaming pass 2 emitted fewer edges than pass 1");
+  const std::size_t n = num_nodes_;
+  for (std::size_t u = 0; u < n; ++u)
+    std::sort(half_edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]),
+              half_edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]),
+              [](const HalfEdge& a, const HalfEdge& b) { return a.to < b.to; });
+  // Deferred duplicate detection: after the sort, parallel edges sit
+  // adjacent in their slice — one contiguous scan replaces the hash
+  // index GraphBuilder carries through construction.
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t i = offsets_[u] + 1; i < offsets_[u + 1]; ++i)
+      if (half_edges_[i].to == half_edges_[i - 1].to)
+        throw std::invalid_argument("duplicate edge");
+
+  std::vector<std::size_t> offsets = std::move(offsets_);
+  std::vector<HalfEdge> half_edges = std::move(half_edges_);
+  std::vector<Edge> edges = std::move(edges_);
+  const std::size_t max_degree = max_degree_;
+  cursor_.clear();
+  num_nodes_ = 0;
+  num_edges_ = 0;
+  counted_edges_ = 0;
+  max_degree_ = 0;
+  offsets_.assign(1, 0);
+  stage_ = Stage::kCounting;
+  return WeightedGraph(std::move(offsets), std::move(half_edges),
+                       std::move(edges), max_degree);
+}
+
 }  // namespace latgossip

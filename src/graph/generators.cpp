@@ -1,5 +1,6 @@
 #include "graph/generators.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +13,12 @@ namespace {
 [[noreturn]] void fail_attempts(const char* what) {
   throw std::runtime_error(std::string(what) +
                            ": no connected sample within attempt budget");
+}
+
+/// Salt for retrying a seeded streaming generator: attempt 0 keeps the
+/// caller's seed verbatim (determinism regression tests rely on this).
+std::uint64_t salted(std::uint64_t seed, int attempt) {
+  return seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt);
 }
 
 }  // namespace
@@ -141,7 +148,14 @@ WeightedGraph make_random_regular(std::size_t n, std::size_t d, Rng& rng,
     auto g = b.build();
     if (g.is_connected()) return g;
   }
-  fail_attempts("random_regular");
+  // Whole-sample rejection stalls where simple pairings are rare
+  // (P(simple) ~ exp(-(d²-1)/4) per attempt, worse at small n where a
+  // collision is near-certain). Instead of failing, finish the job with
+  // the repair-by-swap sampler — same stub-pairing distribution up to
+  // repair bias of the same order (see make_random_regular_streaming).
+  // Only reached when every rejection attempt failed, so historical
+  // sample streams for succeeding (n, d, seed) combos are untouched.
+  return make_random_regular_streaming(n, d, rng(), max_attempts);
 }
 
 WeightedGraph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
@@ -292,6 +306,188 @@ WeightedGraph make_kary_tree(std::size_t n, std::size_t b) {
   for (std::size_t i = 1; i < n; ++i)
     builder.add_edge(static_cast<NodeId>((i - 1) / b), static_cast<NodeId>(i));
   return builder.build();
+}
+
+WeightedGraph make_ring_streaming(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ring: n must be >= 3");
+  return build_csr_streaming(n, [n](auto&& edge) {
+    for (NodeId i = 0; i < n; ++i)
+      edge(i, static_cast<NodeId>((i + 1) % n));
+  });
+}
+
+WeightedGraph make_torus_streaming(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("torus: dimensions must be >= 3");
+  return build_csr_streaming(rows * cols, [rows, cols](auto&& edge) {
+    auto id = [cols](std::size_t r, std::size_t c) {
+      return static_cast<NodeId>(r * cols + c);
+    };
+    // Same emission order as make_grid(rows, cols, /*wrap=*/true).
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (c + 1 < cols) edge(id(r, c), id(r, c + 1));
+        if (r + 1 < rows) edge(id(r, c), id(r + 1, c));
+        if (c + 1 == cols) edge(id(r, c), id(r, 0));
+        if (r + 1 == rows) edge(id(r, c), id(0, c));
+      }
+    }
+  });
+}
+
+namespace {
+
+/// Walk the ordered pair sequence (0,1), (0,2), ..., (1,2), ... with
+/// geometric skips: each present pair is found by drawing the number of
+/// absent pairs preceding it, skip = floor(log(1-u) / log(1-p)). Rng is
+/// taken by value so both streaming passes replay identical draws.
+/// (Rng::geometric is a Bernoulli loop — O(1/p) per draw — so the skip
+/// is computed in closed form here instead.)
+template <typename Sink>
+void emit_erdos_renyi(std::size_t n, double p, Rng rng, Sink&& edge) {
+  if (n < 2 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j) edge(i, j);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  std::size_t i = 0, j = 1;  // next candidate pair
+  for (;;) {
+    const double u = rng.uniform_double();
+    const double skip_d = std::floor(std::log1p(-u) / log1mp);
+    std::uint64_t skip = skip_d > 1e18 ? (std::uint64_t{1} << 62)
+                                       : static_cast<std::uint64_t>(skip_d);
+    while (i + 1 < n && skip >= n - j) {  // cross whole rows
+      skip -= n - j;
+      ++i;
+      j = i + 1;
+    }
+    if (i + 1 >= n) return;
+    j += skip;
+    edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    if (++j >= n) {
+      ++i;
+      j = i + 1;
+    }
+  }
+}
+
+/// Repair a configuration-model pairing in place: find bad pairs
+/// (self-loops, duplicate edges), swap each one's second stub with a
+/// random pair's second stub (degree-preserving), re-validate. The
+/// expected number of bad pairs is O(d^2), independent of n, so this
+/// converges in a handful of rounds. Returns false if it does not.
+bool repair_pairing(std::vector<NodeId>& stubs, Rng& rng) {
+  const std::size_t num_pairs = stubs.size() / 2;
+  std::vector<std::pair<std::uint64_t, std::size_t>> keyed;
+  std::vector<std::size_t> bad;
+  for (int round = 0; round < 64; ++round) {
+    keyed.clear();
+    keyed.reserve(num_pairs);
+    bad.clear();
+    for (std::size_t k = 0; k < num_pairs; ++k) {
+      NodeId u = stubs[2 * k], v = stubs[2 * k + 1];
+      if (u == v) {
+        bad.push_back(k);
+        continue;
+      }
+      if (u > v) std::swap(u, v);
+      keyed.emplace_back((static_cast<std::uint64_t>(u) << 32) | v, k);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t t = 1; t < keyed.size(); ++t)
+      if (keyed[t].first == keyed[t - 1].first) bad.push_back(keyed[t].second);
+    if (bad.empty()) return true;
+    for (std::size_t k : bad)
+      std::swap(stubs[2 * k + 1], stubs[2 * rng.uniform(num_pairs) + 1]);
+  }
+  return false;
+}
+
+/// Replay of make_barabasi_albert's exact sampling loop against a plain
+/// endpoints list instead of a GraphBuilder. Rng by value: calling this
+/// twice with the same seed emits the identical edge sequence.
+template <typename Sink>
+void emit_barabasi_albert(std::size_t n, std::size_t attach, Rng rng,
+                          Sink&& edge) {
+  const std::size_t seed_nodes = std::max<std::size_t>(attach, 2);
+  std::vector<NodeId> endpoints;
+  for (NodeId i = 0; i < seed_nodes; ++i)
+    for (NodeId j = i + 1; j < seed_nodes; ++j) {
+      edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  std::vector<NodeId> chosen;
+  for (NodeId v = static_cast<NodeId>(seed_nodes); v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const NodeId cand = endpoints[rng.uniform(endpoints.size())];
+      bool dup = (cand == v);
+      for (NodeId c : chosen) dup = dup || (c == cand);
+      if (!dup) chosen.push_back(cand);
+    }
+    for (NodeId c : chosen) {
+      edge(v, c);
+      endpoints.push_back(v);
+      endpoints.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+WeightedGraph make_erdos_renyi_streaming(std::size_t n, double p,
+                                         std::uint64_t seed,
+                                         int max_attempts) {
+  if (n == 0) throw std::invalid_argument("er: n must be >= 1");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("er: p out of [0,1]");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const Rng rng(salted(seed, attempt));
+    auto g = build_csr_streaming(n, [n, p, &rng](auto&& edge) {
+      emit_erdos_renyi(n, p, rng, edge);  // Rng copied: both passes replay
+    });
+    if (g.is_connected()) return g;
+  }
+  fail_attempts("erdos_renyi_streaming");
+}
+
+WeightedGraph make_random_regular_streaming(std::size_t n, std::size_t d,
+                                            std::uint64_t seed,
+                                            int max_attempts) {
+  if (d >= n) throw std::invalid_argument("regular: d must be < n");
+  if ((n * d) % 2 != 0)
+    throw std::invalid_argument("regular: n*d must be even");
+  if (d == 0) throw std::invalid_argument("regular: d must be >= 1");
+  std::vector<NodeId> stubs;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Rng rng(salted(seed, attempt));
+    stubs.clear();
+    stubs.reserve(n * d);
+    for (NodeId v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+    if (!repair_pairing(stubs, rng)) continue;
+    auto g = build_csr_streaming(n, [&stubs](auto&& edge) {
+      for (std::size_t k = 0; k + 1 < stubs.size(); k += 2)
+        edge(stubs[k], stubs[k + 1]);
+    });
+    if (g.is_connected()) return g;
+  }
+  fail_attempts("random_regular_streaming");
+}
+
+WeightedGraph make_preferential_attachment_streaming(std::size_t n,
+                                                     std::size_t attach,
+                                                     std::uint64_t seed) {
+  if (attach < 1) throw std::invalid_argument("ba: attach must be >= 1");
+  if (n <= attach)
+    throw std::invalid_argument("ba: n must exceed the attach count");
+  const Rng rng(seed);
+  return build_csr_streaming(n, [n, attach, &rng](auto&& edge) {
+    emit_barabasi_albert(n, attach, rng, edge);  // Rng copied per pass
+  });
 }
 
 WeightedGraph make_path_of_cliques(std::size_t num_cliques,

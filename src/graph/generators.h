@@ -1,8 +1,17 @@
 #pragma once
 // Standard graph generators. All produce unit-latency edges; latency
 // models (latency_models.h) or gadget constructions assign weights.
+//
+// The *_streaming family at the bottom targets million-node graphs
+// (ROADMAP item 2): each generator emits its edge stream twice into a
+// StreamingCsrBuilder (graph/builder.h) — count pass, then fill pass —
+// so no intermediate edge list or duplicate-detection hash index is
+// ever materialized. Random streaming generators take an explicit
+// uint64 seed (not an Rng&): both passes must replay the identical
+// stream, so the generator owns its RNG reconstruction.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -87,5 +96,46 @@ WeightedGraph make_kary_tree(std::size_t n, std::size_t b);
 WeightedGraph make_path_of_cliques(std::size_t num_cliques,
                                    std::size_t clique_size,
                                    Latency bridge_latency = 1);
+
+// ---------------------------------------------------------------------------
+// Streaming (two-pass CSR) generators for million-node graphs.
+
+/// Cycle on n >= 3 nodes, built without an intermediate edge list.
+/// Bit-identical to make_cycle(n) (same edge emission order).
+WeightedGraph make_ring_streaming(std::size_t n);
+
+/// rows x cols torus (both >= 3), built without an intermediate edge
+/// list. Bit-identical to make_grid(rows, cols, /*wrap=*/true).
+WeightedGraph make_torus_streaming(std::size_t rows, std::size_t cols);
+
+/// G(n, p) via geometric skip sampling over the ordered pair sequence
+/// (expected work O(n + p*n^2), not Theta(n^2) coin flips), conditioned
+/// on connectivity by retry with an attempt-salted seed. Deterministic
+/// in (n, p, seed); NOT sample-identical to make_erdos_renyi, which
+/// draws one Bernoulli per pair.
+WeightedGraph make_erdos_renyi_streaming(std::size_t n, double p,
+                                         std::uint64_t seed,
+                                         int max_attempts = 64);
+
+/// Random d-regular graph via the configuration model with
+/// repair-by-swap instead of whole-sample rejection: bad pairs
+/// (self-loops, duplicates) swap their second stub with a random pair
+/// and the pairing is re-validated, preserving the degree sequence.
+/// Whole-sample rejection is hopeless at scale — P(simple) ~
+/// exp(-(d^2-1)/4) per attempt is astronomically small long before the
+/// expected O(1) bad pairs stop being repairable. Conditioned on
+/// connectivity by retry. Requires n*d even, 1 <= d < n. Deterministic
+/// in (n, d, seed); NOT sample-identical to make_random_regular.
+WeightedGraph make_random_regular_streaming(std::size_t n, std::size_t d,
+                                            std::uint64_t seed,
+                                            int max_attempts = 64);
+
+/// Barabasi–Albert preferential attachment, streaming build.
+/// Bit-identical to make_barabasi_albert(n, attach, rng) when `rng` was
+/// constructed as Rng(seed): the sampling loop is replayed exactly
+/// (same RNG draws, same emission order) in each pass.
+WeightedGraph make_preferential_attachment_streaming(std::size_t n,
+                                                     std::size_t attach,
+                                                     std::uint64_t seed);
 
 }  // namespace latgossip

@@ -130,6 +130,7 @@ class WeightedGraph {
 
  private:
   friend class GraphBuilder;
+  friend class StreamingCsrBuilder;
 
   WeightedGraph(std::vector<std::size_t> offsets,
                 std::vector<HalfEdge> half_edges, std::vector<Edge> edges,

@@ -23,6 +23,18 @@ BuildInfo build_info() {
                    LATGOSSIP_BUILD_TYPE, LATGOSSIP_BUILD_FLAGS};
 }
 
+std::size_t peak_rss_bytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -277,6 +289,8 @@ std::string manifest_record(const RunInfo& info, std::size_t trial,
     std::snprintf(buf, sizeof(buf), "%.3f", wall_ms);
     out += buf;
   }
+  out += ",\"peak_rss_bytes\":";
+  append_u64(out, peak_rss_bytes());
   if (!metrics_json_snapshot.empty()) {
     out += ",\"metrics\":";
     out += metrics_json_snapshot;

@@ -34,6 +34,14 @@ BuildInfo build_info();
 /// embedded by manifests and by run_bench's BENCH_*.json headers.
 std::string build_info_json();
 
+/// Peak resident-set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status; 0 where unavailable). A high-water mark, not a
+/// current reading — it only ever grows, so per-row deltas in a batch
+/// run are meaningless but "did the million-node bench fit in RAM" is
+/// answered exactly. Stamped into every manifest record and BENCH_*.json
+/// row.
+std::size_t peak_rss_bytes();
+
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(std::string_view s);
 

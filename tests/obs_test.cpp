@@ -401,6 +401,17 @@ TEST(Export, JsonEscape) {
   EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
 }
 
+TEST(Export, PeakRssIsMonotoneHighWaterMark) {
+  const std::size_t before = peak_rss_bytes();
+#ifdef __linux__
+  EXPECT_GT(before, 0u);  // /proc/self/status always has VmHWM on Linux
+#endif
+  // Touch a real allocation, then re-read: the mark never decreases.
+  std::vector<char> ballast(8 << 20, 1);
+  EXPECT_NE(ballast[4 << 20], 0);
+  EXPECT_GE(peak_rss_bytes(), before);
+}
+
 TEST(Export, ManifestRecordFieldsAndJsonl) {
   RunInfo info;
   info.tool = "obs_test";
@@ -428,7 +439,8 @@ TEST(Export, ManifestRecordFieldsAndJsonl) {
         "\"params\":\"n=64,p=0.15\"", "\"nodes\":64", "\"seed\":42",
         "\"threads\":2", "\"trial\":0", "\"trial_seed\":99", "\"rounds\":18",
         "\"completed\":true", "\"fingerprint\":\"0x000000000000abcd\"",
-        "\"wall_ms\":1.500", "\"metrics\":", "\"counters\":"}) {
+        "\"wall_ms\":1.500", "\"peak_rss_bytes\":", "\"metrics\":",
+        "\"counters\":"}) {
     EXPECT_NE(line.find(key), std::string::npos) << "missing " << key;
   }
 

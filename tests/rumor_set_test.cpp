@@ -1,0 +1,318 @@
+// Unit tests for the rumor-set representation layer (util/rumor_set.h):
+// SparseRumorSet and CountRumorSet must be observationally identical to
+// the dense Bitset reference through every concept operation, including
+// the exact OrDelta accounting the protocols' incremental cardinality
+// counters depend on.
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/rumor_set.h"
+#include "util/snapshot.h"
+
+namespace latgossip {
+namespace {
+
+template <typename R>
+class RumorSetRepTest : public ::testing::Test {};
+
+using AltReps = ::testing::Types<SparseRumorSet, CountRumorSet>;
+TYPED_TEST_SUITE(RumorSetRepTest, AltReps);
+
+TYPED_TEST(RumorSetRepTest, EmptyAndSingleton) {
+  TypeParam r(10);
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_FALSE(r.all());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(r.test(i));
+  r.set(3);
+  EXPECT_TRUE(r.test(3));
+  EXPECT_FALSE(r.test(4));
+  EXPECT_EQ(r.count(), 1u);
+  r.set(3);  // idempotent
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_THROW(r.test(10), std::out_of_range);
+  EXPECT_THROW(r.set(10), std::out_of_range);
+}
+
+TYPED_TEST(RumorSetRepTest, ClearAndReinit) {
+  TypeParam r(8);
+  r.set(0);
+  r.set(7);
+  r.clear();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_FALSE(r.test(0));
+  r.reinit(4);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.count(), 0u);
+  r.set(2);
+  EXPECT_TRUE(r.test(2));
+}
+
+TYPED_TEST(RumorSetRepTest, OrDeltaAccounting) {
+  TypeParam a(16), b(16);
+  a.set(1);
+  a.set(5);
+  b.set(5);
+  b.set(9);
+  const auto d1 = a.or_assign_changed(b);
+  EXPECT_TRUE(d1.changed);
+  EXPECT_EQ(d1.added, 1u);
+  EXPECT_EQ(a.count(), 3u);
+  const auto d2 = a.or_assign_changed(b);  // subset: no change
+  EXPECT_FALSE(d2.changed);
+  EXPECT_EQ(d2.added, 0u);
+  TypeParam c(8);
+  EXPECT_THROW(a.or_assign_changed(c), std::invalid_argument);
+}
+
+TYPED_TEST(RumorSetRepTest, AssignAndCount) {
+  TypeParam a(12), b(12);
+  b.set(2);
+  b.set(3);
+  b.set(11);
+  EXPECT_EQ(a.assign_and_count(b), 3u);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.test(11));
+}
+
+TYPED_TEST(RumorSetRepTest, EqualityIsMembershipBased) {
+  TypeParam a(20), b(20);
+  EXPECT_TRUE(a == b);
+  a.set(4);
+  EXPECT_FALSE(a == b);
+  b.set(4);
+  EXPECT_TRUE(a == b);
+  TypeParam other_universe(21);
+  EXPECT_FALSE(a == other_universe);
+}
+
+// Randomized differential against the dense reference: the same op
+// sequence applied to TypeParam and Bitset must agree on membership,
+// cardinality, and every OrDelta.
+TYPED_TEST(RumorSetRepTest, RandomizedAgainstDenseReference) {
+  constexpr std::size_t kN = 300;  // spans the sparse promote threshold
+  Rng rng(0x5eed5e75ull);
+  for (int trial = 0; trial < 20; ++trial) {
+    TypeParam x(kN), y(kN);
+    Bitset rx(kN), ry(kN);
+    for (int op = 0; op < 400; ++op) {
+      switch (rng.uniform(4)) {
+        case 0: {
+          const std::size_t i = rng.uniform(kN);
+          x.set(i);
+          rx.set(i);
+          break;
+        }
+        case 1: {
+          const std::size_t i = rng.uniform(kN);
+          y.set(i);
+          ry.set(i);
+          break;
+        }
+        case 2: {
+          const auto d = x.or_assign_changed(y);
+          const auto rd = rx.or_assign_changed(ry);
+          ASSERT_EQ(d.changed, rd.changed);
+          ASSERT_EQ(d.added, rd.added);
+          break;
+        }
+        case 3: {
+          const std::size_t i = rng.uniform(kN);
+          ASSERT_EQ(x.test(i), rx.test(i));
+          break;
+        }
+      }
+      ASSERT_EQ(x.count(), rx.count());
+      ASSERT_EQ(y.count(), ry.count());
+      ASSERT_EQ(x.all(), rx.all());
+    }
+    ASSERT_EQ(x.to_indices(), rx.to_indices());
+    ASSERT_EQ(y.to_indices(), ry.to_indices());
+  }
+}
+
+TYPED_TEST(RumorSetRepTest, FillToUniverse) {
+  constexpr std::size_t kN = 130;
+  TypeParam r(kN);
+  for (std::size_t i = 0; i < kN; ++i) r.set(i);
+  EXPECT_TRUE(r.all());
+  EXPECT_EQ(r.count(), kN);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_TRUE(r.test(i));
+  // Unions into a full set are no-ops with zero delta.
+  TypeParam other(kN);
+  other.set(5);
+  const auto d = r.or_assign_changed(other);
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.added, 0u);
+}
+
+TYPED_TEST(RumorSetRepTest, OwnIdRumorSets) {
+  const auto sets = own_id_rumor_sets<TypeParam>(6);
+  ASSERT_EQ(sets.size(), 6u);
+  for (std::size_t u = 0; u < 6; ++u) {
+    EXPECT_EQ(sets[u].count(), 1u);
+    EXPECT_TRUE(sets[u].test(u));
+  }
+}
+
+// --- representation-specific edges -----------------------------------------
+
+TEST(SparseRumorSet, PromotesPastThreshold) {
+  constexpr std::size_t kN = 10000;
+  const std::size_t threshold = SparseRumorSet::promote_threshold(kN);
+  SparseRumorSet s(kN);
+  Bitset ref(kN);
+  for (std::size_t i = 0; i < threshold; ++i) {
+    s.set(i * 3 % kN);  // distinct while 3 * threshold < kN
+    ref.set(i * 3 % kN);
+  }
+  EXPECT_TRUE(s.is_sparse());  // exactly at the threshold: still sparse
+  s.set(9999);                 // one past it: promotes
+  ref.set(9999);
+  EXPECT_FALSE(s.is_sparse());
+  EXPECT_EQ(s.count(), ref.count());
+  EXPECT_EQ(s.to_indices(), ref.to_indices());
+  // Dense instance keeps behaving correctly, and mixed-mode union and
+  // equality (dense vs sparse operand) agree with the reference.
+  SparseRumorSet t(kN);
+  t.set(1);
+  t.set(9998);
+  Bitset tref(kN);
+  tref.set(1);
+  tref.set(9998);
+  const auto d = s.or_assign_changed(t);
+  const auto rd = ref.or_assign_changed(tref);
+  EXPECT_EQ(d.added, rd.added);
+  EXPECT_EQ(s.count(), ref.count());
+  EXPECT_TRUE(s == s);
+  s.reinit(kN);
+  EXPECT_TRUE(s.is_sparse());  // reinit drops back to sparse mode
+}
+
+TEST(SparseRumorSet, SparseAbsorbsDenseOperand) {
+  constexpr std::size_t kN = 10000;
+  SparseRumorSet dense_side(kN);
+  for (std::size_t i = 0; i < kN / 2; ++i) dense_side.set(i);
+  ASSERT_FALSE(dense_side.is_sparse());
+  SparseRumorSet sparse_side(kN);
+  sparse_side.set(123);
+  sparse_side.set(7777);
+  const auto d = sparse_side.or_assign_changed(dense_side);
+  EXPECT_EQ(d.added, kN / 2 - 1);  // 123 already present
+  EXPECT_FALSE(sparse_side.is_sparse());
+  EXPECT_TRUE(sparse_side.test(7777));
+  EXPECT_TRUE(sparse_side.test(0));
+}
+
+TEST(CountRumorSet, SaturationCollapse) {
+  constexpr std::size_t kN = 200;
+  CountRumorSet r(kN);
+  for (std::size_t i = 0; i < kN - 1; ++i) r.set(i);
+  EXPECT_FALSE(r.saturated());
+  r.set(kN - 1);
+  EXPECT_TRUE(r.saturated());
+  EXPECT_EQ(r.count(), kN);
+  EXPECT_TRUE(r.test(57));
+  // Union FROM a full set delivers everything missing at once.
+  CountRumorSet receiver(kN);
+  receiver.set(3);
+  const auto d = receiver.or_assign_changed(r);
+  EXPECT_TRUE(d.changed);
+  EXPECT_EQ(d.added, kN - 1);
+  EXPECT_TRUE(receiver.saturated());
+  // Full == full, and full == dense-with-all-bits.
+  CountRumorSet dense_full(kN);
+  for (std::size_t i = 0; i < kN; ++i) dense_full.set(i);
+  EXPECT_TRUE(r == dense_full);
+  r.clear();
+  EXPECT_FALSE(r.saturated());
+  EXPECT_EQ(r.count(), 0u);
+}
+
+TEST(CountRumorSet, SaturationViaUnion) {
+  constexpr std::size_t kN = 100;
+  CountRumorSet a(kN), b(kN);
+  for (std::size_t i = 0; i < kN; i += 2) a.set(i);
+  for (std::size_t i = 1; i < kN; i += 2) b.set(i);
+  const auto d = a.or_assign_changed(b);
+  EXPECT_EQ(d.added, kN / 2);
+  EXPECT_TRUE(a.saturated());
+  EXPECT_FALSE(b.saturated());
+}
+
+// --- snapshot arena over alternative representations -----------------------
+
+TYPED_TEST(RumorSetRepTest, SnapshotCacheRoundTrip) {
+  constexpr std::size_t kN = 64;
+  BasicSnapshotCache<TypeParam> cache(/*num_nodes=*/2, /*set_size=*/kN);
+  TypeParam mine(kN);
+  mine.set(0);
+  mine.set(17);
+  auto s1 = cache.shared(0, mine, mine.count());
+  EXPECT_EQ(s1.count(), 2u);
+  EXPECT_TRUE(s1.bits().test(17));
+  // Unchanged source: the cache hands out the same block again.
+  auto s2 = cache.shared(0, mine, mine.count());
+  EXPECT_EQ(&s1.bits(), &s2.bits());
+  // Mutate + invalidate: next capture sees the new contents, while the
+  // outstanding refs still see the old immutable block.
+  mine.set(42);
+  cache.invalidate(0);
+  auto s3 = cache.shared(0, mine, mine.count());
+  EXPECT_EQ(s3.count(), 3u);
+  EXPECT_TRUE(s3.bits().test(42));
+  EXPECT_EQ(s1.count(), 2u);
+  EXPECT_FALSE(s1.bits().test(42));
+  // fresh() always deep-copies.
+  auto f = cache.fresh(mine, mine.count());
+  EXPECT_EQ(f.count(), 3u);
+  EXPECT_TRUE(f.bits() == mine);
+}
+
+// --- runtime selection helpers ---------------------------------------------
+
+TEST(RumorRepSelection, ParseAndNames) {
+  EXPECT_EQ(parse_rumor_rep("dense"), RumorRep::kDense);
+  EXPECT_EQ(parse_rumor_rep("sparse"), RumorRep::kSparse);
+  EXPECT_EQ(parse_rumor_rep("count"), RumorRep::kCount);
+  EXPECT_EQ(parse_rumor_rep("auto"), RumorRep::kAuto);
+  EXPECT_THROW(parse_rumor_rep("bitmap"), std::invalid_argument);
+  EXPECT_EQ(rumor_rep_name(RumorRep::kSparse), "sparse");
+}
+
+TEST(RumorRepSelection, AutoResolvesByNodeCount) {
+  EXPECT_EQ(resolve_rumor_rep(RumorRep::kAuto, 1000), RumorRep::kDense);
+  EXPECT_EQ(resolve_rumor_rep(RumorRep::kAuto, kDenseNodeThreshold),
+            RumorRep::kSparse);
+  EXPECT_EQ(resolve_rumor_rep(RumorRep::kAuto, 1u << 20), RumorRep::kSparse);
+  EXPECT_EQ(resolve_rumor_rep(RumorRep::kSparse, 10), RumorRep::kSparse);
+  EXPECT_EQ(resolve_rumor_rep(RumorRep::kCount, 1u << 20), RumorRep::kCount);
+}
+
+struct Probe {
+  template <RumorSetRep R>
+  std::size_t operator()() const {
+    R r(5);
+    r.set(2);
+    return r.count() + (std::is_same_v<R, Bitset> ? 100 : 0) +
+           (std::is_same_v<R, SparseRumorSet> ? 200 : 0) +
+           (std::is_same_v<R, CountRumorSet> ? 300 : 0);
+  }
+};
+
+TEST(RumorRepSelection, WithRumorRepBridges) {
+  EXPECT_EQ(with_rumor_rep(RumorRep::kDense, 10, Probe{}), 101u);
+  EXPECT_EQ(with_rumor_rep(RumorRep::kSparse, 10, Probe{}), 201u);
+  EXPECT_EQ(with_rumor_rep(RumorRep::kCount, 10, Probe{}), 301u);
+  EXPECT_EQ(with_rumor_rep(RumorRep::kAuto, 10, Probe{}), 101u);
+  EXPECT_EQ(with_rumor_rep(RumorRep::kAuto, kDenseNodeThreshold, Probe{}),
+            201u);
+}
+
+}  // namespace
+}  // namespace latgossip

@@ -4,6 +4,7 @@
 //   latgossip analyze --in=FILE [--sweep-iters=N]
 //   latgossip run --in=FILE --proto=<pushpull|flooding|eid|tk|unified>
 //                 [--source=0] [--seed=1] [--trials=N] [--threads=T]
+//                 [--rumor-rep=<dense|sparse|count|auto>]
 //                 [--trace=FILE[.json]] [--manifest=FILE.jsonl]
 //                 [--curve-out=FILE.csv]
 //   latgossip game --m=N [--p=0.1] --strategy=<adaptive|systematic|random>
@@ -14,11 +15,21 @@
 // one JSONL run record per trial (build info, config, SimResult,
 // fingerprint, metrics). --curve-out (pushpull only) writes the
 // per-round informed-count spread across trials as round,min,mean,max.
+// --rumor-rep picks the rumor-set representation for rumor-carrying
+// protocols (currently flooding): dense Bitset, sorted-vector sparse,
+// counting/saturating, or auto (dense below 65536 nodes, sparse at or
+// above — see util/rumor_set.h kDenseNodeThreshold and DESIGN.md §5i).
+// All representations are observationally identical; the choice only
+// moves memory/time. The resolved name is echoed and recorded in the
+// manifest protocol field as e.g. "flooding/sparse".
 //
 // Families: clique, cycle, path, star, grid (--rows, --cols), er (--p),
 // regular (--d), ws (--k --beta), ba (--attach), ring_cliques
 // (--cliques --size --bridge), dumbbell (--size --bridge), thm8
-// (--alpha --ell). Latency options: --lat-uniform=L |
+// (--alpha --ell), plus the streaming two-pass CSR builders for
+// million-node graphs: ring, torus (--rows --cols), and --streaming
+// routing er/regular/ba through make_*_streaming (explicit --seed, no
+// intermediate edge list). Latency options: --lat-uniform=L |
 // --lat-range=LO,HI | --lat-twolevel=FAST,SLOW,PFAST.
 
 #include <algorithm>
@@ -67,25 +78,42 @@ void apply_latency_flags(WeightedGraph& g, const Args& args, Rng& rng) {
 WeightedGraph generate(const Args& args, Rng& rng) {
   const std::string family = args.get("family", "er");
   const auto n = static_cast<std::size_t>(args.get_int("n", 32));
+  // --streaming routes er/regular/ba through the two-pass CSR builders
+  // (same distributions, explicit seed, no intermediate edge list) —
+  // the path that makes n = 10^6 fit in laptop RAM.
+  const bool streaming = args.get_bool("streaming");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   if (family == "clique") return make_clique(n);
   if (family == "cycle") return make_cycle(n);
   if (family == "path") return make_path(n);
   if (family == "star") return make_star(n);
+  if (family == "ring") return make_ring_streaming(n);
+  if (family == "torus")
+    return make_torus_streaming(
+        static_cast<std::size_t>(args.get_int("rows", 4)),
+        static_cast<std::size_t>(args.get_int("cols", 4)));
   if (family == "grid")
     return make_grid(static_cast<std::size_t>(args.get_int("rows", 4)),
                      static_cast<std::size_t>(args.get_int("cols", 4)));
-  if (family == "er")
-    return make_erdos_renyi(n, args.get_double("p", 0.2), rng);
-  if (family == "regular")
-    return make_random_regular(
-        n, static_cast<std::size_t>(args.get_int("d", 4)), rng);
+  if (family == "er") {
+    const double p = args.get_double("p", 0.2);
+    if (streaming) return make_erdos_renyi_streaming(n, p, seed);
+    return make_erdos_renyi(n, p, rng);
+  }
+  if (family == "regular") {
+    const auto d = static_cast<std::size_t>(args.get_int("d", 4));
+    if (streaming) return make_random_regular_streaming(n, d, seed);
+    return make_random_regular(n, d, rng);
+  }
   if (family == "ws")
     return make_watts_strogatz(
         n, static_cast<std::size_t>(args.get_int("k", 2)),
         args.get_double("beta", 0.1), rng);
-  if (family == "ba")
-    return make_barabasi_albert(
-        n, static_cast<std::size_t>(args.get_int("attach", 2)), rng);
+  if (family == "ba") {
+    const auto attach = static_cast<std::size_t>(args.get_int("attach", 2));
+    if (streaming) return make_preferential_attachment_streaming(n, attach, seed);
+    return make_barabasi_albert(n, attach, rng);
+  }
   if (family == "ring_cliques")
     return make_ring_of_cliques(
         static_cast<std::size_t>(args.get_int("cliques", 4)),
@@ -167,6 +195,11 @@ int cmd_run(const Args& args) {
   // 0 = hardware concurrency; only consulted when trials > 1.
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
   const Round max_rounds = args.get_int("max-rounds", 5'000'000);
+  // Rumor-set representation for rumor-carrying protocols; kAuto is
+  // resolved against the loaded graph's node count up front so the
+  // echoed/manifested name is the concrete choice.
+  const RumorRep rumor_rep =
+      resolve_rumor_rep(parse_rumor_rep(args.get("rumor-rep", "auto")), n);
   Rng rng(seed);
 
   const std::string trace_path = args.get("trace", "");
@@ -235,9 +268,11 @@ int cmd_run(const Args& args) {
       }
     } else if (proto_name == "flooding") {
       NetworkView view(g, false);
-      RoundRobinFlooding proto(view, GossipGoal::kAllToAll, source,
-                               own_id_rumors(n));
-      result = run_gossip(g, proto, opts);
+      result = with_rumor_rep(rumor_rep, n, [&]<RumorSetRep R>() {
+        BasicRoundRobinFlooding<R> proto(view, GossipGoal::kAllToAll, source,
+                                         own_id_rumor_sets<R>(n));
+        return run_gossip(g, proto, opts);
+      });
     } else if (proto_name == "eid") {
       const GeneralEidOutcome out =
           run_general_eid(g, 0, trial_rng, 1, obs_ptr, &ws);
@@ -276,9 +311,14 @@ int cmd_run(const Args& args) {
     return result;
   };
 
+  // Only flooding carries rumor sets today; other protocols ignore the
+  // representation flag entirely, so tagging them would be noise.
+  const bool rep_applies = proto_name == "flooding";
+  const std::string rep_name{rumor_rep_name(rumor_rep)};
+
   RunInfo info;
   info.tool = "latgossip run";
-  info.protocol = proto_name;
+  info.protocol = rep_applies ? proto_name + "/" + rep_name : proto_name;
   info.graph_source = in;
   info.nodes = n;
   info.edges = g.num_edges();
@@ -332,6 +372,8 @@ int cmd_run(const Args& args) {
         run_trials(trials, threads, seed, run_single,
                    manifest_path.empty() ? nullptr : &manifest);
     std::printf("protocol       %s\n", proto_name.c_str());
+    if (rep_applies)
+      std::printf("rumor rep      %s\n", rep_name.c_str());
     std::printf("trials         %zu (threads %zu%s)\n", trials, threads,
                 threads == 0 ? " = hardware" : "");
     std::printf("rounds mean    %.2f\n", agg.rounds.mean());
@@ -363,6 +405,8 @@ int cmd_run(const Args& args) {
   const bool complete = result.completed;
 
   std::printf("protocol       %s\n", proto_name.c_str());
+  if (rep_applies)
+    std::printf("rumor rep      %s\n", rep_name.c_str());
   std::printf("rounds         %lld\n", static_cast<long long>(result.rounds));
   std::printf("complete       %s\n", complete ? "yes" : "NO");
   std::printf("exchanges      %zu\n", result.activations);
