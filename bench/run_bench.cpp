@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <iterator>
 #include <string>
@@ -36,6 +37,8 @@
 #include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/parallel.h"
+#include "store/server.h"
+#include "store/store.h"
 #include "util/args.h"
 
 using namespace latgossip;
@@ -333,13 +336,115 @@ std::vector<Case> run_graph_cases(int repeats, std::size_t dim,
   return cases;
 }
 
+/// Query-server throughput: the same 512-node push–pull sweep asked
+/// twice through the in-process request core (store/server.h), first
+/// against an empty store (every cell computed and inserted) and then
+/// again (every cell answered from the index). Cold can only be
+/// measured once per store lifetime, so its single pass and the warm
+/// repeats run back to back in the same time window — the same
+/// same-window methodology the pre-pool baselines use; cross-window
+/// ratios on this box are noise.
+struct StoreQps {
+  std::size_t cells = 0;
+  std::size_t trials = 0;
+  std::size_t nodes = 0;
+  double cold_ns = 0.0;  ///< one pass over all cells, all misses
+  double warm_ns = 0.0;  ///< mean pass over all cells, all hits
+};
+
+StoreQps run_store_qps(bool smoke, int repeats) {
+  StoreQps r;
+  r.nodes = smoke ? 32 : 512;
+  r.cells = smoke ? 4 : 64;
+  r.trials = smoke ? 2 : 8;
+  const auto dir =
+      std::filesystem::temp_directory_path() / "latgossip_bench_store";
+  std::filesystem::remove_all(dir);
+  ExperimentStore store(dir.string());
+
+  // One graph spec, varying batch seed: each query is its own cell set
+  // but the server's graph cache keeps substrate construction out of
+  // the numbers — this row prices the store, not the generator.
+  const auto request = [&](std::size_t i) {
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"op\":\"completion_time\",\"graph\":{\"family\":\"er\",\"n\":%zu,"
+        "\"p\":%.6f,\"seed\":1,\"lat\":\"range\",\"lat_lo\":1,\"lat_hi\":8},"
+        "\"proto\":\"pushpull\",\"seed\":%zu,\"trials\":%zu}",
+        r.nodes, 8.0 / static_cast<double>(r.nodes), i + 1, r.trials);
+    return std::string(buf);
+  };
+  const auto pass = [&](const char* expect) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < r.cells; ++i) {
+      const std::string resp = handle_request(store, request(i), 0, nullptr);
+      if (resp.rfind("{\"ok\":true", 0) != 0 ||
+          resp.find(expect) == std::string::npos) {
+        std::fprintf(stderr, "store_qps: unexpected response %s\n",
+                     resp.c_str());
+        std::exit(1);
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+  };
+
+  char miss_tag[32], hit_tag[32];
+  std::snprintf(miss_tag, sizeof(miss_tag), "\"misses\":%zu", r.trials);
+  std::snprintf(hit_tag, sizeof(hit_tag), "\"hits\":%zu,\"misses\":0",
+                r.trials);
+  r.cold_ns = pass(miss_tag);
+  double warm_total = 0.0;
+  for (int i = 0; i < repeats; ++i) warm_total += pass(hit_tag);
+  r.warm_ns = warm_total / repeats;
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+int write_store_json(const std::string& out, int repeats, const StoreQps& q) {
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  const double cold_qps = 1e9 * static_cast<double>(q.cells) / q.cold_ns;
+  const double warm_qps = 1e9 * static_cast<double>(q.cells) / q.warm_ns;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"store_qps\",\n");
+  std::fprintf(f, "  \"build\": %s,\n", build_info_json().c_str());
+  std::fprintf(f,
+               "  \"workload\": \"erdos_renyi n=%zu avg-degree 8, latencies "
+               "uniform[1,8], push-pull; %zu completion_time queries x %zu "
+               "trials via in-process handle_request, cold then warm in the "
+               "same window\",\n",
+               q.nodes, q.cells, q.trials);
+  std::fprintf(f, "  \"warm_repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"cells\": %zu,\n", q.cells);
+  std::fprintf(f, "  \"trials_per_cell\": %zu,\n", q.trials);
+  std::fprintf(f, "  \"cold\": { \"total_ns\": %.0f, \"qps\": %.1f },\n",
+               q.cold_ns, cold_qps);
+  std::fprintf(f, "  \"warm\": { \"total_ns\": %.0f, \"qps\": %.1f },\n",
+               q.warm_ns, warm_qps);
+  std::fprintf(f, "  \"warm_over_cold\": %.1f\n", warm_qps / cold_qps);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("store_qps: cold %.1f qps, warm %.1f qps (%.0fx)\n", cold_qps,
+              warm_qps, warm_qps / cold_qps);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.allow_only({"out", "graph_out", "repeats", "smoke"});
+  args.allow_only({"out", "graph_out", "store_out", "repeats", "smoke"});
   const std::string out = args.get("out", "BENCH_engine.json");
   const std::string graph_out = args.get("graph_out", "BENCH_graph.json");
+  const std::string store_out = args.get("store_out", "BENCH_store.json");
   const bool smoke = args.get_bool("smoke");
   const int repeats = smoke ? 1 : static_cast<int>(args.get_int("repeats", 5));
 
@@ -590,12 +695,13 @@ int main(int argc, char** argv) {
   };
   const std::vector<Case> graph_cases =
       run_graph_cases(repeats, smoke ? 8 : 16, smoke ? 100'000 : 1'000'000);
+  const StoreQps store_qps = run_store_qps(smoke, std::max(repeats, 3));
 
   if (smoke) {
     // Bench-rot guard: everything above ran; write nothing.
-    std::printf("smoke mode: %zu engine + %zu graph cases ran, no JSON "
-                "written\n",
-                cases.size(), graph_cases.size());
+    std::printf("smoke mode: %zu engine + %zu graph cases + store_qps "
+                "(%zu cells) ran, no JSON written\n",
+                cases.size(), graph_cases.size(), store_qps.cells);
     return 0;
   }
 
@@ -610,9 +716,12 @@ int main(int argc, char** argv) {
       {"baseline_pre_csr_ns", "speedup_vs_pre_csr", kPreCsrBaseline,
        std::size(kPreCsrBaseline)},
   };
-  return write_json(
+  const int graph_rc = write_json(
       graph_out, "graph",
       "hypercube dim 16 (65536 nodes, 524288 edges), latencies "
       "uniform[1,8]; 1M mixed find_edge probes, full adjacency sweep",
       repeats, graph_baselines, graph_cases);
+  if (graph_rc != 0) return graph_rc;
+
+  return write_store_json(store_out, std::max(repeats, 3), store_qps);
 }

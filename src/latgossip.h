@@ -55,6 +55,14 @@
 #include "core/tk_schedule.h"
 #include "core/unified.h"
 
+// Experiment store + query server
+#include "store/cached_trials.h"
+#include "store/json.h"
+#include "store/key.h"
+#include "store/server.h"
+#include "store/store.h"
+#include "store/wire.h"
+
 // Application layer
 #include "app/aggregate.h"
 #include "app/anti_entropy.h"

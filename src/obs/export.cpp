@@ -257,6 +257,13 @@ std::string manifest_record(const RunInfo& info, std::size_t trial,
   append_u64(out, info.seed);
   out += ",\"threads\":";
   append_u64(out, info.threads);
+  out += ",\"threads_effective\":";
+  append_u64(out, info.threads_effective);
+  if (!info.threads_env.empty()) {
+    out += ",\"threads_env\":\"";
+    out += json_escape(info.threads_env);
+    out += '"';
+  }
   out += ",\"trial\":";
   append_u64(out, trial);
   out += ",\"trial_seed\":";

@@ -78,6 +78,16 @@ struct RunInfo {
   std::size_t edges = 0;
   std::uint64_t seed = 0;   ///< batch seed
   std::size_t threads = 0;  ///< requested worker threads (0 = hardware)
+  /// Worker threads the batch actually ran on, after the
+  /// LATGOSSIP_THREADS override, the hardware default, and the
+  /// num_trials cap (0 = the producer didn't resolve it). run_trials
+  /// stamps this on its manifest copy; "threads":0 alone can't answer
+  /// "how parallel was this run".
+  std::size_t threads_effective = 0;
+  /// Raw LATGOSSIP_THREADS value in the producing environment, empty
+  /// when unset — records *why* threads_effective diverged from
+  /// threads. Emitted only when set.
+  std::string threads_env;
 };
 
 /// One JSONL manifest record (single line, no trailing newline).

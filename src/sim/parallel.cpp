@@ -128,12 +128,18 @@ TrialAggregate run_trials(std::size_t num_trials, std::size_t threads,
   }
 
   if (manifest != nullptr) {
+    // Stamp what the batch actually ran on (post-override, post-cap):
+    // the caller's RunInfo only knows what was *requested*.
+    RunInfo info = manifest->info;
+    info.threads_effective = threads;
+    if (const char* env = std::getenv("LATGOSSIP_THREADS"))
+      info.threads_env = env;
     for (std::size_t t = 0; t < num_trials; ++t) {
       const std::string metrics_snapshot =
           manifest->metrics_json_snapshot ? manifest->metrics_json_snapshot(t)
                                           : std::string();
       if (!append_jsonl(manifest->path,
-                        manifest_record(manifest->info, t,
+                        manifest_record(info, t,
                                         trial_seed(seed, t), agg.trials[t],
                                         agg.wall_ms[t], metrics_snapshot)))
         throw std::runtime_error("run_trials: cannot write manifest " +

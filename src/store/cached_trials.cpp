@@ -1,0 +1,69 @@
+#include "store/cached_trials.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace latgossip {
+
+TrialAggregate run_trials_stored(const StoreBinding& binding,
+                                 StoredBatchStats* stats_out,
+                                 std::size_t num_trials, std::size_t threads,
+                                 std::uint64_t seed, const TrialWsFn& trial,
+                                 const ManifestSpec* manifest) {
+  if (binding.store == nullptr)
+    throw std::invalid_argument("run_trials_stored: no store bound");
+
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+  std::atomic<std::size_t> verified{0};
+
+  const TrialWsFn stored_trial = [&](std::size_t t, Rng rng,
+                                     TrialWorkspace& ws) -> SimResult {
+    const StoreKey key = cell_key(binding.cell, trial_seed(seed, t));
+    if (std::optional<StoreRecord> cached = binding.store->lookup(key)) {
+      if (!binding.verify) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        if (binding.on_hit_meta) binding.on_hit_meta(t, cached->meta);
+        return cached->result;
+      }
+      SimResult computed = trial(t, std::move(rng), ws);
+      if (computed != cached->result)
+        throw std::runtime_error(
+            "store verify FAILED for key " + key.hex() + " (trial " +
+            std::to_string(t) +
+            "): recomputed result differs from cached record — engine "
+            "semantics changed without a kStoreModelVersion bump, or the "
+            "store is stale/corrupt");
+      hits.fetch_add(1, std::memory_order_relaxed);
+      verified.fetch_add(1, std::memory_order_relaxed);
+      // Meta intentionally not replayed: verify recomputed, so the
+      // caller's side channels were filled by the live trial body.
+      return computed;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    SimResult computed = trial(t, std::move(rng), ws);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    StoreRecord rec;
+    rec.result = computed;
+    rec.wall_ms = wall_ms;
+    if (binding.meta_fn) rec.meta = binding.meta_fn(t);
+    binding.store->insert(key, rec);
+    misses.fetch_add(1, std::memory_order_relaxed);
+    return computed;
+  };
+
+  const TrialAggregate agg =
+      run_trials(num_trials, threads, seed, stored_trial, manifest);
+  if (stats_out != nullptr) {
+    stats_out->hits = hits.load(std::memory_order_relaxed);
+    stats_out->misses = misses.load(std::memory_order_relaxed);
+    stats_out->verified = verified.load(std::memory_order_relaxed);
+  }
+  return agg;
+}
+
+}  // namespace latgossip

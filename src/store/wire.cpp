@@ -1,0 +1,102 @@
+#include "store/wire.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace latgossip {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the process with SIGPIPE.
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// 1 = read len bytes, 0 = clean EOF before any byte, -1 = error/short.
+int read_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  unsigned char header[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(len & 0xff);
+  header[1] = static_cast<unsigned char>((len >> 8) & 0xff);
+  header[2] = static_cast<unsigned char>((len >> 16) & 0xff);
+  header[3] = static_cast<unsigned char>((len >> 24) & 0xff);
+  return write_all(fd, header, sizeof header) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  unsigned char header[4];
+  if (read_all(fd, header, sizeof header) != 1) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) return std::nullopt;
+  std::string payload(len, '\0');
+  if (len > 0 && read_all(fd, payload.data(), len) != 1) return std::nullopt;
+  return payload;
+}
+
+std::string query_server(const std::string& socket_path,
+                         const std::string& request) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("cannot create socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot connect to " + socket_path + ": " +
+                             std::strerror(err));
+  }
+  if (!write_frame(fd, request)) {
+    ::close(fd);
+    throw std::runtime_error("request write to " + socket_path + " failed");
+  }
+  std::optional<std::string> response = read_frame(fd);
+  ::close(fd);
+  if (!response)
+    throw std::runtime_error("no response from " + socket_path);
+  return std::move(*response);
+}
+
+}  // namespace latgossip

@@ -1,0 +1,40 @@
+#pragma once
+// Length-prefixed JSON framing for the latgossip serve protocol.
+//
+// One frame = 4-byte little-endian u32 payload length + that many bytes
+// of UTF-8 JSON. Requests and responses are each exactly one frame; a
+// connection carries any number of request/response pairs and closes
+// from the client side (a clean EOF between frames). The length prefix
+// exists so neither side needs a streaming JSON parser, and the 64 MB
+// cap bounds what a broken or hostile client can make the daemon
+// buffer.
+//
+// Blocking I/O with full-read/full-write loops; short reads/writes and
+// EINTR are handled, SIGPIPE is avoided via MSG_NOSIGNAL. POSIX-only,
+// like the Unix-socket transport it frames.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace latgossip {
+
+/// Upper bound on one frame's payload (request or response).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Write one frame. Returns false on any I/O error (including a
+/// payload over kMaxFrameBytes or a peer that hung up).
+bool write_frame(int fd, std::string_view payload);
+
+/// Read one frame. nullopt on clean EOF at a frame boundary, on a
+/// malformed/oversized length prefix, or on any I/O error.
+std::optional<std::string> read_frame(int fd);
+
+/// Client one-shot: connect to the Unix socket at `socket_path`, send
+/// `request` as a frame, read one response frame. Throws
+/// std::runtime_error with context on connect/protocol failure.
+std::string query_server(const std::string& socket_path,
+                         const std::string& request);
+
+}  // namespace latgossip

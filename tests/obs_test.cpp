@@ -422,6 +422,8 @@ TEST(Export, ManifestRecordFieldsAndJsonl) {
   info.edges = 300;
   info.seed = 42;
   info.threads = 2;
+  info.threads_effective = 2;
+  info.threads_env = "2";
   SimResult r;
   r.rounds = 18;
   r.completed = true;
@@ -437,12 +439,21 @@ TEST(Export, ManifestRecordFieldsAndJsonl) {
        {"\"schema\":\"latgossip.run.v1\"", "\"build\":", "\"git\":",
         "\"tool\":\"obs_test\"", "\"protocol\":\"pushpull\"",
         "\"params\":\"n=64,p=0.15\"", "\"nodes\":64", "\"seed\":42",
-        "\"threads\":2", "\"trial\":0", "\"trial_seed\":99", "\"rounds\":18",
+        "\"threads\":2", "\"threads_effective\":2", "\"threads_env\":\"2\"",
+        "\"trial\":0", "\"trial_seed\":99", "\"rounds\":18",
         "\"completed\":true", "\"fingerprint\":\"0x000000000000abcd\"",
         "\"wall_ms\":1.500", "\"peak_rss_bytes\":", "\"metrics\":",
         "\"counters\":"}) {
     EXPECT_NE(line.find(key), std::string::npos) << "missing " << key;
   }
+
+  // threads_env records the LATGOSSIP_THREADS override; when the
+  // producer ran without one the key is omitted, not emitted empty.
+  info.threads_env.clear();
+  const std::string no_env =
+      manifest_record(info, 0, 99, r, 1.5, metrics_json(metrics));
+  EXPECT_EQ(no_env.find("\"threads_env\""), std::string::npos);
+  EXPECT_NE(no_env.find("\"threads_effective\":2"), std::string::npos);
 
   const auto path =
       (std::filesystem::temp_directory_path() / "latgossip_obs_test.jsonl")

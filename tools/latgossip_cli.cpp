@@ -7,7 +7,29 @@
 //                 [--rumor-rep=<dense|sparse|count|auto>]
 //                 [--trace=FILE[.json]] [--manifest=FILE.jsonl]
 //                 [--curve-out=FILE.csv]
+//                 [--store=DIR [--store-verify]]
 //   latgossip game --m=N [--p=0.1] --strategy=<adaptive|systematic|random>
+//   latgossip serve --store=DIR --socket=PATH [--threads=T]
+//                   [--max-requests=N] [--quiet]
+//   latgossip query --socket=PATH (--req='{"op":…}' | --op=<name>)
+//
+// --store=DIR: content-addressed result cache (store/store.h). Each
+// trial's key is the canonical digest of (protocol, graph content,
+// source, max_rounds, derived trial seed); cells already in the store
+// are answered without simulating, the rest are computed and inserted —
+// re-running a sweep only pays for cells it has never seen. Implies
+// recording (fingerprints must land in the records); incompatible with
+// --trace/--curve-out, whose outputs cannot be replayed from a cache
+// hit. --store-verify recomputes every hit and fails loudly unless the
+// result is bit-identical to the cached record — the tripwire for
+// engine changes that forgot to bump kStoreModelVersion.
+//
+// serve/query: daemon + client for the same store over a Unix socket
+// (length-prefixed JSON frames; ops ping/stats/completion_time/
+// spread_curve/sweep/shutdown — see store/server.h and DESIGN.md §5j).
+// `query --op=ping` is shorthand for --req='{"op":"ping"}'; anything
+// with arguments goes through --req. The response JSON prints on
+// stdout; exit 0 iff the server answered {"ok":true,…}.
 //
 // run observability: --trace writes the event stream (Chrome trace JSON
 // when the name ends in .json, activation CSV otherwise; with trials>1
@@ -35,6 +57,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -47,7 +70,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: latgossip <gen|analyze|run|game> [--flags]\n"
+               "usage: latgossip <gen|analyze|run|game|serve|query> "
+               "[--flags]\n"
                "see the header of tools/latgossip_cli.cpp for details\n");
   return 2;
 }
@@ -205,13 +229,25 @@ int cmd_run(const Args& args) {
   const std::string trace_path = args.get("trace", "");
   const std::string manifest_path = args.get("manifest", "");
   const std::string curve_path = args.get("curve-out", "");
+  const std::string store_dir = args.get("store", "");
+  const bool store_verify = args.get_bool("store-verify");
   if (!curve_path.empty() && proto_name != "pushpull")
     throw std::invalid_argument(
         "--curve-out needs per-node inform rounds; only --proto=pushpull "
         "exposes them");
+  if (store_verify && store_dir.empty())
+    throw std::invalid_argument("--store-verify needs --store=DIR");
+  // A store hit skips the trial body, so exports that only the live
+  // body can produce are incompatible with caching.
+  if (!store_dir.empty() && (!trace_path.empty() || !curve_path.empty()))
+    throw std::invalid_argument(
+        "--store cannot replay --trace/--curve-out from cache hits; drop "
+        "those flags or the store");
   // Recording (events + metrics) is enabled per trial whenever an
-  // export that needs it was requested.
-  const bool recording = !trace_path.empty() || !manifest_path.empty();
+  // export that needs it was requested. A store implies it: records
+  // carry fingerprints, the observable --store-verify compares by.
+  const bool recording =
+      !trace_path.empty() || !manifest_path.empty() || !store_dir.empty();
 
   // A trace ending in .json is exported as Chrome trace-event JSON
   // (open in Perfetto / chrome://tracing); anything else as the
@@ -359,7 +395,10 @@ int cmd_run(const Args& args) {
                 static_cast<long long>(horizon) + 1);
   };
 
-  if (trials > 1) {
+  // Store runs always take the batch path (even --trials=1): per-trial
+  // keys come from the same trial_seed() derivation either way, so a
+  // single-trial probe and a later sweep share cache entries.
+  if (trials > 1 || !store_dir.empty()) {
     ManifestSpec manifest;
     if (!manifest_path.empty()) {
       manifest.path = manifest_path;
@@ -368,9 +407,24 @@ int cmd_run(const Args& args) {
         return metrics_snapshots[t];
       };
     }
-    const TrialAggregate agg =
-        run_trials(trials, threads, seed, run_single,
-                   manifest_path.empty() ? nullptr : &manifest);
+    const ManifestSpec* mspec = manifest_path.empty() ? nullptr : &manifest;
+    std::optional<ExperimentStore> store;
+    StoredBatchStats store_stats;
+    TrialAggregate agg;
+    if (!store_dir.empty()) {
+      store.emplace(store_dir);
+      StoreBinding binding;
+      binding.store = &*store;
+      binding.verify = store_verify;
+      binding.cell.protocol = info.protocol;
+      binding.cell.graph = graph_digest(g);
+      binding.cell.source = source;
+      binding.cell.max_rounds = max_rounds;
+      agg = run_trials_stored(binding, &store_stats, trials, threads, seed,
+                              run_single, mspec);
+    } else {
+      agg = run_trials(trials, threads, seed, run_single, mspec);
+    }
     std::printf("protocol       %s\n", proto_name.c_str());
     if (rep_applies)
       std::printf("rumor rep      %s\n", rep_name.c_str());
@@ -392,6 +446,16 @@ int cmd_run(const Args& args) {
     if (!manifest_path.empty())
       std::printf("manifest       %s (%zu records)\n", manifest_path.c_str(),
                   trials);
+    if (store) {
+      // hits + misses == trials; a repeated sweep is all hits (the
+      // resumable-sweep observable EXPERIMENTS.md and CI assert on).
+      std::printf("store          %s (%zu records)\n", store_dir.c_str(),
+                  store->size());
+      std::printf("store hits     %zu%s\n", store_stats.hits,
+                  store_verify ? " (recomputed + verified)" : "");
+      std::printf("store misses   %zu (computed + inserted)\n",
+                  store_stats.misses);
+    }
     write_curve();
     return 0;
   }
@@ -418,6 +482,11 @@ int cmd_run(const Args& args) {
     std::printf("trace          %s (%zu events)\n", trace_path.c_str(),
                 trace_events[0]);
   if (!manifest_path.empty()) {
+    // The single-trial path bypasses run_trials, so stamp the effective
+    // parallelism (always 1 here) the way run_trials would.
+    info.threads_effective = 1;
+    if (const char* env = std::getenv("LATGOSSIP_THREADS"))
+      info.threads_env = env;
     if (!append_jsonl(manifest_path,
                       manifest_record(info, 0, seed, result, wall_ms,
                                       metrics_snapshots[0])))
@@ -458,6 +527,34 @@ int cmd_game(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  ServeOptions opts;
+  opts.store_dir = args.get("store", "");
+  opts.socket_path = args.get("socket", "");
+  opts.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  opts.max_requests =
+      static_cast<std::size_t>(args.get_int("max-requests", 0));
+  opts.quiet = args.get_bool("quiet");
+  if (opts.store_dir.empty() || opts.socket_path.empty()) return usage();
+  return run_server(opts);
+}
+
+int cmd_query(const Args& args) {
+  const std::string socket_path = args.get("socket", "");
+  std::string request = args.get("req", "");
+  if (request.empty()) {
+    // --op shorthand only covers argument-free ops; anything with a
+    // graph spec or cell list is real JSON and belongs in --req.
+    const std::string op = args.get("op", "");
+    if (op.empty()) return usage();
+    request = "{\"op\":\"" + op + "\"}";
+  }
+  if (socket_path.empty()) return usage();
+  const std::string response = query_server(socket_path, request);
+  std::printf("%s\n", response.c_str());
+  return response.compare(0, 10, "{\"ok\":true") == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -469,9 +566,16 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "run") return cmd_run(args);
     if (command == "game") return cmd_game(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  // Unknown subcommand: name the offender on stderr, then the one-line
+  // usage; exit 2 like every other usage error (not the silent exit the
+  // shell would read as success).
+  std::fprintf(stderr, "latgossip: unknown subcommand '%s'\n",
+               command.c_str());
   return usage();
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `latgossip serve` + `latgossip query`:
+# start the daemon on a fresh store, issue a miss query, re-issue it as
+# a hit, assert the result payloads are identical and the hit counter
+# moved, then shut down cleanly. Run by ctest (cli_serve_smoke) and the
+# CI serve-smoke step.
+#
+# usage: serve_smoke.sh <latgossip-binary> <scratch-dir>
+set -eu
+
+CLI=$1
+SCRATCH=$2
+STORE=$SCRATCH/store
+SOCK=$SCRATCH/serve.sock
+
+rm -rf "$SCRATCH"
+mkdir -p "$STORE"
+
+"$CLI" serve --store="$STORE" --socket="$SOCK" --max-requests=32 --quiet &
+SERVER_PID=$!
+trap 'kill $SERVER_PID 2>/dev/null || true' EXIT
+
+# Wait for the listener (the daemon unlinks the socket on exit, so the
+# file appearing means it is accepting).
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never bound $SOCK"; exit 1; }
+
+REQ='{"op":"completion_time","graph":{"family":"er","n":64,"p":0.1,"seed":2,"lat":"range","lat_lo":1,"lat_hi":8},"proto":"pushpull","seed":5,"trials":4}'
+
+cold=$("$CLI" query --socket="$SOCK" --req="$REQ")
+warm=$("$CLI" query --socket="$SOCK" --req="$REQ")
+echo "cold: $cold"
+echo "warm: $warm"
+
+case $cold in
+  *'"misses":4'*) ;;
+  *) echo "FAIL: cold query did not miss 4 cells"; exit 1 ;;
+esac
+case $warm in
+  *'"hits":4,"misses":0'*) ;;
+  *) echo "FAIL: warm query did not hit all 4 cells"; exit 1 ;;
+esac
+
+# The result payload (counters, means, fingerprint) must be identical
+# whether computed or served from the store; only the trailing per-query
+# store block may differ.
+cold_result=${cold%%,\"store\"*}
+warm_result=${warm%%,\"store\"*}
+if [ "$cold_result" != "$warm_result" ]; then
+  echo "FAIL: hit payload differs from computed payload"
+  exit 1
+fi
+
+stats=$("$CLI" query --socket="$SOCK" --op=stats)
+echo "stats: $stats"
+case $stats in
+  *'"hits":4'*) ;;
+  *) echo "FAIL: stats did not show the hit counter incremented"; exit 1 ;;
+esac
+
+"$CLI" query --socket="$SOCK" --op=shutdown > /dev/null
+wait "$SERVER_PID"
+trap - EXIT
+echo "serve smoke OK"
