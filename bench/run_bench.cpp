@@ -35,7 +35,9 @@
 #include "graph/latency_models.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "sim/dynamics.h"
 #include "sim/engine.h"
+#include "sim/freshness.h"
 #include "sim/parallel.h"
 #include "store/server.h"
 #include "store/store.h"
@@ -517,6 +519,43 @@ int main(int argc, char** argv) {
         repeats));
   }
 
+  std::string freshness_json;
+  {
+    // Dynamics-hooked row: a drift + adversary schedule installed on the
+    // same broadcast workload prices the DynamicsHook dispatch (the
+    // plain rows above take the compile-time NoHooks path). The final
+    // repeat's node-age freshness rides into the JSON as an observable
+    // of the dynamic scenario, not a throughput number.
+    const WeightedGraph g = bench_graph(big_n);
+    DynamicSpec spec;
+    spec.drift_step = 64;
+    spec.drift_bound = 2048;
+    spec.adv_slow = 1536;
+    spec.seed = 11;
+    std::uint64_t seed = 0;
+    FreshnessStats fresh;
+    cases.push_back(make_case(
+        "pushpull_broadcast_" + std::to_string(big_n) + "_dynamics",
+        [&] {
+          NetworkView view(g, false);
+          PushPullBroadcast proto(view, 0, Rng(++seed));
+          SimOptions opts;
+          opts.max_rounds = 1'000'000;
+          DynamicPlan plan(g.num_nodes(), g.num_edges(), spec);
+          plan.apply(opts);
+          const SimResult r = run_gossip(g, proto, opts);
+          fresh = freshness_of(proto, g.num_nodes(), r.rounds);
+        },
+        repeats));
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"freshness_dynamics_%zu\": { \"informed\": %zu, "
+                  "\"node_age_max\": %lld, \"node_age_mean\": %.2f }",
+                  big_n, fresh.informed_nodes,
+                  static_cast<long long>(fresh.max_age), fresh.mean_age);
+    freshness_json = buf;
+  }
+
   // All-to-all rumor-set rows: the copy-on-write snapshot payload path
   // (util/snapshot.h). Payload volume scales with n * rounds, so these
   // are the rows the snapshot arena exists for.
@@ -709,7 +748,7 @@ int main(int argc, char** argv) {
       out, "engine",
       "erdos_renyi avg-degree 8, latencies uniform[1,8], push-pull from "
       "node 0",
-      repeats, engine_baselines, cases, scaling_json(scaling));
+      repeats, engine_baselines, cases, scaling_json(scaling) + freshness_json);
   if (engine_rc != 0) return engine_rc;
 
   const std::vector<BaselineBlock> graph_baselines = {

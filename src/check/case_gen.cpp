@@ -9,6 +9,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/latency_models.h"
+#include "sim/dynamics.h"
 
 namespace latgossip {
 namespace {
@@ -79,6 +80,28 @@ WeightedGraph random_topology(Rng& rng, const CaseProfile& profile,
   (void)profile;
 }
 
+// Dynamic-scenario topology families (ISSUE: drifting ER, churning
+// ring/torus, adversarial-schedule star/path): each scenario gets the
+// graph shapes where its behavior is most distinctive, instead of a
+// uniform draw over all ten families.
+WeightedGraph dynamic_topology(Rng& rng, int scenario, std::size_t n) {
+  switch (scenario) {
+    case 0: {  // drifting Erdős–Rényi
+      const double p = 0.3 + 0.4 * rng.uniform_double();
+      return make_erdos_renyi(n, p, rng, 256);
+    }
+    case 1: {  // churning ring / torus
+      if (n >= 9 && rng.bernoulli(0.5)) {
+        const std::size_t cols = n / 3;
+        return make_grid(3, cols, /*wrap=*/true);
+      }
+      return n >= 3 ? make_cycle(n) : make_path(n);
+    }
+    default:  // adversarial-schedule star / path
+      return rng.bernoulli(0.5) ? make_star(n) : make_path(n);
+  }
+}
+
 void random_latencies(Rng& rng, const CaseProfile& profile, WeightedGraph& g) {
   switch (rng.uniform(4)) {
     case 0:
@@ -127,15 +150,47 @@ TestCase random_case(Rng& rng, const CaseProfile& profile) {
       profile.composites ? CheckProto::kCount : CheckProto::kUnified);
   tc.proto = static_cast<CheckProto>(rng.uniform(proto_pool));
 
+  // Dynamic scenario (drift / churn / adversary), simple protocols
+  // only; chosen before the topology so each scenario can steer the
+  // graph family (drifting ER, churning ring/torus, adversarial
+  // star/path).
+  int dyn_scenario = -1;
+  if (profile.allow_dynamics && !check_proto_is_composite(tc.proto) &&
+      rng.bernoulli(0.25))
+    dyn_scenario = static_cast<int>(rng.uniform(3));
+
   const std::size_t span = profile.max_nodes - profile.min_nodes + 1;
   const std::size_t n = profile.min_nodes + rng.uniform(span);
-  WeightedGraph g = random_topology(rng, profile, n);
+  WeightedGraph g = dyn_scenario >= 0 ? dynamic_topology(rng, dyn_scenario, n)
+                                      : random_topology(rng, profile, n);
   random_latencies(rng, profile, g);
   tc.num_nodes = g.num_nodes();
   tc.edges = g.edges();
   tc.seed = rng() | 1;  // nonzero
   tc.source = static_cast<NodeId>(rng.uniform(tc.num_nodes));
   tc.tk_estimate = 1 + static_cast<Latency>(rng.uniform(8));
+
+  if (dyn_scenario >= 0) {
+    DynamicSpec& d = tc.dynamics;
+    d.seed = rng() | 1;
+    switch (dyn_scenario) {
+      case 0:
+        d.drift_step = static_cast<std::uint32_t>(16u << rng.uniform(4));
+        d.drift_bound = rng.bernoulli(0.5) ? 2048 : 4096;
+        break;
+      case 1:
+        d.churn_prob = 0.3 + 0.4 * rng.uniform_double();
+        d.churn_window = 6 + static_cast<Round>(rng.uniform(10));
+        d.churn_absence = 2 + static_cast<Round>(rng.uniform(8));
+        d.churn_mode = static_cast<std::uint8_t>(rng.uniform(3));
+        d.churn_spare = tc.source;
+        break;
+      default:
+        d.adv_slow = 2048 + static_cast<std::uint32_t>(rng.uniform(2049));
+        d.adv_source = tc.source;
+        break;
+    }
+  }
 
   if (!check_proto_is_composite(tc.proto)) {
     // Give non-terminating (faulted) runs a bounded but roomy horizon.
@@ -171,6 +226,17 @@ bool case_valid(const TestCase& tc) {
   if (tc.num_nodes == 0) return false;
   if (tc.source >= tc.num_nodes) return false;
   if (tc.tk_estimate < 1) return false;
+  // Composite protocols own their SimOptions internally, so every
+  // engine-model knob must stay off for them — enforced here (not by
+  // generator convention alone) so a future case family can't silently
+  // hand a composite a fault/jitter/dynamics knob it would ignore on
+  // one side of the differential check but not the other.
+  if (check_proto_is_composite(tc.proto)) {
+    if (tc.blocking || tc.max_incoming_per_round > 0 ||
+        tc.jitter_spread > 0 || tc.faults.any() || tc.dynamics.any())
+      return false;
+  }
+  if (!dynamic_spec_error(tc.dynamics, tc.num_nodes).empty()) return false;
   GraphBuilder b(tc.num_nodes);
   for (const Edge& e : tc.edges) {
     if (e.u >= tc.num_nodes || e.v >= tc.num_nodes || e.u == e.v ||
@@ -196,6 +262,8 @@ std::string describe(const TestCase& tc) {
         << tc.faults.crash_round;
   if (tc.faults.drop_probability > 0.0)
     out << " drop=" << tc.faults.drop_probability;
+  if (tc.dynamics.any())
+    out << " dynamics[" << describe_dynamics(tc.dynamics) << "]";
   return out.str();
 }
 
@@ -209,6 +277,15 @@ void write_case(std::ostream& out, const TestCase& tc) {
       << " jitter=" << tc.jitter_spread << " max_rounds=" << tc.max_rounds
       << " crashes=" << tc.faults.crash_count << "@" << tc.faults.crash_round
       << " drop=" << tc.faults.drop_probability << "\n";
+  if (tc.dynamics.any()) {
+    const DynamicSpec& d = tc.dynamics;
+    out << "# dynamics drift=" << d.drift_step << "/" << d.drift_bound
+        << " churn=" << d.churn_prob << " window=" << d.churn_window
+        << " absence=" << d.churn_absence
+        << " mode=" << static_cast<int>(d.churn_mode)
+        << " spare=" << d.churn_spare << " adv=" << d.adv_slow
+        << " adv_source=" << d.adv_source << " dseed=" << d.seed << "\n";
+  }
   write_graph(out, materialize_graph(tc));
 }
 

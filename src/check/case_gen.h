@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/dynamics_spec.h"
 #include "util/rng.h"
 
 namespace latgossip {
@@ -62,6 +63,10 @@ struct TestCase {
   Latency jitter_spread = 0;
   Round max_rounds = 2000;
   FaultSpec faults;
+  /// Dynamic scenario (sim/dynamics_spec.h): drift / churn / adversary,
+  /// all off by default. Simple protocols only, like the knobs above —
+  /// case_valid() rejects composite cases with any knob set.
+  DynamicSpec dynamics;
 };
 
 /// Knobs for random_case(); the long-run sweep widens these.
@@ -71,6 +76,7 @@ struct CaseProfile {
   Latency max_latency = 9;
   bool allow_faults = true;
   bool allow_model_variants = true;  ///< blocking / in-degree / jitter
+  bool allow_dynamics = true;        ///< drift / churn / adversary families
   bool composites = true;            ///< include unified / EID / T(k)
 };
 

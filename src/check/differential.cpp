@@ -13,6 +13,7 @@
 #include "core/tk_schedule.h"
 #include "core/unified.h"
 #include "obs/metrics.h"
+#include "sim/dynamics.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
 
@@ -55,6 +56,14 @@ RunArtifacts run_simple_once(const TestCase& tc, const WeightedGraph& g,
   if (tc.jitter_spread > 0)
     opts.latency_jitter =
         make_uniform_jitter(tc.jitter_spread, tc.seed ^ kJitterSeedSalt);
+  // Each side builds its own DynamicPlan from the same spec: the
+  // adversary's touched set and the drift caches are per-run state, and
+  // the oracle side only ever reads the declarative spec() anyway.
+  std::optional<DynamicPlan> dyn_plan;
+  if (tc.dynamics.any()) {
+    dyn_plan.emplace(tc.num_nodes, g.num_edges(), tc.dynamics);
+    dyn_plan->apply(opts);
+  }
 
   NetworkView view(g, /*latencies_known=*/false);
   auto drive = [&](auto& proto) {
@@ -138,6 +147,11 @@ SimResult run_rumor_rep_once(const TestCase& tc, const WeightedGraph& g) {
   if (tc.jitter_spread > 0)
     opts.latency_jitter =
         make_uniform_jitter(tc.jitter_spread, tc.seed ^ kJitterSeedSalt);
+  std::optional<DynamicPlan> dyn_plan;
+  if (tc.dynamics.any()) {
+    dyn_plan.emplace(tc.num_nodes, g.num_edges(), tc.dynamics);
+    dyn_plan->apply(opts);
+  }
 
   NetworkView view(g, /*latencies_known=*/false);
   SimResult result;
@@ -239,8 +253,17 @@ DiffReport diff_simple(const TestCase& tc, const WeightedGraph& g,
     in.graph = &g;
     in.result = side->result;
     in.recorder = &side->recorder;
-    in.jitter_active = tc.jitter_spread > 0;
-    if (side->has_inform) in.inform_round = &side->inform_round;
+    // Drift and the adversary perturb delivered latencies the same way
+    // jitter does, so the latency-conformance invariant degrades to its
+    // weaker (>= 1) form for them.
+    in.jitter_active = tc.jitter_spread > 0 || tc.dynamics.affects_latency();
+    in.dynamics = tc.dynamics.any() ? &tc.dynamics : nullptr;
+    // Rejoin-with-reset can un-inform a node, so inform-round
+    // monotonicity only survives under retain-mode churn.
+    const bool resets_possible =
+        tc.dynamics.churn_active() && tc.dynamics.churn_mode != 0;
+    if (side->has_inform && !resets_possible)
+      in.inform_round = &side->inform_round;
     in.source = tc.source;
     apply_invariants(rep, in, side == &engine ? "engine" : "oracle");
   }

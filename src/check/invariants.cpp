@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/oracle.h"
+
 namespace latgossip {
 namespace {
 
@@ -55,6 +57,35 @@ std::vector<std::string> check_invariants(const InvariantInput& in,
          << " rounds, edge latency is " << g.latency(edge);
       fail(os.str());
       break;
+    }
+  }
+
+  // --- churn absence ---------------------------------------------------
+  // Absent nodes are out of the network: a delivery touching an absent
+  // endpoint should have been a crash-drop, and an absent node must not
+  // initiate. Absence is re-derived through the oracle-side brute-force
+  // interpreter, independent of whichever engine produced the stream.
+  if (in.dynamics != nullptr && in.dynamics->churn_active()) {
+    const DynamicSpec& dyn = *in.dynamics;
+    for (const Event& e : rec.events()) {
+      if (e.kind() == EventKind::kDelivery) {
+        if (oracle_detail::oracle_node_absent(dyn, e.a(), e.round()) ||
+            oracle_detail::oracle_node_absent(dyn, e.b(), e.round())) {
+          std::ostringstream os;
+          os << "delivery touching a churn-absent endpoint at round "
+             << e.round();
+          fail(os.str());
+          break;
+        }
+      } else if (e.kind() == EventKind::kActivation) {
+        if (oracle_detail::oracle_node_absent(dyn, e.a(), e.round())) {
+          std::ostringstream os;
+          os << "churn-absent node " << e.a() << " initiated at round "
+             << e.round();
+          fail(os.str());
+          break;
+        }
+      }
     }
   }
 

@@ -23,6 +23,7 @@
 
 #include "graph/graph.h"
 #include "obs/recorder.h"
+#include "sim/dynamics_spec.h"
 #include "sim/metrics.h"
 
 namespace latgossip {
@@ -43,6 +44,11 @@ struct InvariantInput {
   /// the monotonicity check.
   const std::vector<Round>* inform_round = nullptr;
   NodeId source = 0;
+  /// Dynamic scenario the run was driven under (null = none). Enables
+  /// the churn-absence invariants: no delivery may touch an absent
+  /// endpoint, and no absent node may initiate an activation (absence
+  /// re-derived via the oracle-side brute-force interpreter).
+  const DynamicSpec* dynamics = nullptr;
 };
 
 /// Run every applicable invariant; returns the failures (empty == ok).

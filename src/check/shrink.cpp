@@ -21,6 +21,10 @@ TestCase without_node(const TestCase& tc, NodeId v) {
     c.edges.push_back(ne);
   }
   if (c.source > v) --c.source;
+  // Node-id-keyed dynamics fields shift with the removal (a spare or
+  // adversary source above v keeps naming the same node).
+  if (c.dynamics.churn_spare > v) --c.dynamics.churn_spare;
+  if (c.dynamics.adv_source > v) --c.dynamics.adv_source;
   return c;
 }
 
@@ -140,6 +144,16 @@ TestCase shrink_case(const TestCase& original,
       try_mutation([](TestCase& c) { c.faults.drop_probability = 0.0; });
     if (best.faults.crash_count > 0)
       try_mutation([](TestCase& c) { c.faults.crash_count = 0; });
+    // Dynamics knobs: try disabling each schedule outright, then the
+    // cheaper churn-mode downgrade (reset/mixed -> retain).
+    if (best.dynamics.drift_active())
+      try_mutation([](TestCase& c) { c.dynamics.drift_step = 0; });
+    if (best.dynamics.churn_active())
+      try_mutation([](TestCase& c) { c.dynamics.churn_prob = 0.0; });
+    if (best.dynamics.adv_active())
+      try_mutation([](TestCase& c) { c.dynamics.adv_slow = 1024; });
+    if (best.dynamics.churn_active() && best.dynamics.churn_mode != 0)
+      try_mutation([](TestCase& c) { c.dynamics.churn_mode = 0; });
     if (best.tk_estimate > 1)
       try_mutation([](TestCase& c) { c.tk_estimate = 1; });
     if (best.source != 0) try_mutation([](TestCase& c) { c.source = 0; });

@@ -37,7 +37,8 @@ class BasicRoundRobinFlooding {
         rumor_count_(view.num_nodes(), 0),
         snapshots_(view.num_nodes(), view.num_nodes()),
         next_neighbor_(view.num_nodes(), 0),
-        satisfied_(view.num_nodes(), false) {
+        satisfied_(view.num_nodes(), false),
+        last_gain_(view.num_nodes(), 0) {
     if (rumors_.size() != view.num_nodes())
       throw std::invalid_argument("flooding: rumor vector size mismatch");
     if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
@@ -70,14 +71,39 @@ class BasicRoundRobinFlooding {
   }
 
   void deliver(NodeId u, NodeId /*peer*/, Payload payload, EdgeId /*e*/,
-               Round /*start*/, Round /*now*/) {
+               Round /*start*/, Round now) {
     const typename R::OrDelta delta =
         rumors_[u].or_assign_changed(payload.bits());
     if (!delta.changed) return;
     rumor_count_[u] += delta.added;
     snapshots_.invalidate(u);
+    last_gain_[u] = now;
     if (!satisfied_[u]) refresh_satisfied(u);
   }
+
+  /// Churn rejoin-with-reset — see BasicPushPullGossip::reset_node; a
+  /// rejoining flooder additionally restarts its round-robin cursor,
+  /// like a freshly constructed node.
+  void reset_node(NodeId u, Round r) {
+    const std::size_t n = rumors_.size();
+    rumors_[u].reinit(n);
+    rumors_[u].set(u);
+    rumor_count_[u] = 1;
+    snapshots_.invalidate(u);
+    next_neighbor_[u] = 0;
+    const bool now_sat = node_satisfied(u);
+    if (satisfied_[u] && !now_sat) {
+      satisfied_[u] = false;
+      --satisfied_count_;
+    } else if (!satisfied_[u] && now_sat) {
+      satisfied_[u] = true;
+      ++satisfied_count_;
+    }
+    last_gain_[u] = r;
+  }
+
+  /// Freshness hook (sim/freshness.h): round of u's last rumor gain.
+  Round last_gain_round(NodeId u) const { return last_gain_[u]; }
 
   bool done(Round /*r*/) const {
     return satisfied_count_ == satisfied_.size();
@@ -116,6 +142,7 @@ class BasicRoundRobinFlooding {
   std::vector<std::size_t> next_neighbor_;
   std::vector<bool> satisfied_;
   std::size_t satisfied_count_ = 0;
+  std::vector<Round> last_gain_;  ///< freshness raw input
 };
 
 /// Dense instantiation under the historical name.

@@ -62,6 +62,19 @@ class PushPullBroadcast {
   /// Round at which u became informed (-1 if never).
   Round inform_round(NodeId u) const { return inform_round_[u]; }
 
+  /// Churn rejoin-with-reset (sim/engine.h reset_protocol_node): a
+  /// returning node forgets the rumor unconditionally — the protocol
+  /// stores no source id, so scenarios must spare the source
+  /// (DynamicSpec::churn_spare) to keep the broadcast satisfiable.
+  void reset_node(NodeId u, Round /*r*/) {
+    informed_.reset(u);
+    inform_round_[u] = -1;
+  }
+
+  /// Freshness hook (sim/freshness.h): the round of u's last
+  /// information gain, -1 while uninformed.
+  Round last_gain_round(NodeId u) const { return inform_round_[u]; }
+
  private:
   NetworkView view_;
   Rng rng_;
@@ -129,7 +142,8 @@ class BasicPushPullGossip {
         rumors_(std::move(initial_rumors)),
         rumor_count_(view.num_nodes(), 0),
         snapshots_(view.num_nodes(), view.num_nodes()),
-        satisfied_(view.num_nodes(), false) {
+        satisfied_(view.num_nodes(), false),
+        last_gain_(view.num_nodes(), 0) {
     if (rumors_.size() != view.num_nodes())
       throw std::invalid_argument("push-pull: rumor vector size mismatch");
     if (goal == GossipGoal::kSingleSource && source >= view.num_nodes())
@@ -169,6 +183,7 @@ class BasicPushPullGossip {
     satisfied_.assign(n, false);
     satisfied_count_ = 0;
     for (NodeId u = 0; u < n; ++u) refresh_satisfied(u);
+    last_gain_.assign(n, 0);
   }
 
   static std::vector<R> own_id_rumors(std::size_t n) {
@@ -197,7 +212,7 @@ class BasicPushPullGossip {
   }
 
   void deliver(NodeId u, NodeId /*peer*/, Payload payload, EdgeId /*e*/,
-               Round /*start*/, Round /*now*/) {
+               Round /*start*/, Round now) {
     // A receiver that already holds every rumor cannot gain from any
     // payload; returning before the union avoids touching the payload's
     // (usually cold) snapshot words in the late all-to-all rounds, where
@@ -208,8 +223,35 @@ class BasicPushPullGossip {
     if (!delta.changed) return;
     rumor_count_[u] += delta.added;
     snapshots_.invalidate(u);
+    last_gain_[u] = now;
     if (!satisfied_[u]) refresh_satisfied(u);
   }
+
+  /// Churn rejoin-with-reset: u restarts with only its own rumor, as a
+  /// freshly constructed node would. Cached snapshots are invalidated
+  /// (in-flight payload refs keep their blocks alive via the arena
+  /// refcounts) and the satisfied bookkeeping is re-derived both ways —
+  /// a previously satisfied node can become unsatisfied here, which the
+  /// grow-only refresh_satisfied() never handles.
+  void reset_node(NodeId u, Round r) {
+    const std::size_t n = rumors_.size();
+    rumors_[u].reinit(n);
+    rumors_[u].set(u);
+    rumor_count_[u] = 1;
+    snapshots_.invalidate(u);
+    const bool now_sat = node_satisfied(u);
+    if (satisfied_[u] && !now_sat) {
+      satisfied_[u] = false;
+      --satisfied_count_;
+    } else if (!satisfied_[u] && now_sat) {
+      satisfied_[u] = true;
+      ++satisfied_count_;
+    }
+    last_gain_[u] = r;
+  }
+
+  /// Freshness hook (sim/freshness.h): round of u's last rumor gain.
+  Round last_gain_round(NodeId u) const { return last_gain_[u]; }
 
   /// Warm u's rumor storage + count ahead of deliver(u, ...) — called by
   /// the engine one delivery ahead (sim/engine.h).
@@ -266,6 +308,9 @@ class BasicPushPullGossip {
   BasicSnapshotCache<R> snapshots_;
   std::vector<bool> satisfied_;
   std::size_t satisfied_count_ = 0;
+  /// Round of each node's last rumor gain (0 for the initial set) —
+  /// the freshness metric's raw input.
+  std::vector<Round> last_gain_;
 };
 
 /// The dense fast path under its historical name: every pre-existing

@@ -35,8 +35,10 @@
 #include "obs/recorder.h"
 
 // Simulator
+#include "sim/dynamics.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
+#include "sim/freshness.h"
 #include "sim/metrics.h"
 #include "sim/parallel.h"
 #include "sim/trace.h"

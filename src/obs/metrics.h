@@ -33,6 +33,7 @@
 #include <string_view>
 
 #include "obs/recorder.h"
+#include "sim/freshness.h"
 #include "sim/metrics.h"
 
 namespace latgossip {
@@ -205,6 +206,20 @@ inline void record_sim_result(MetricsRegistry& metrics, const SimResult& r) {
   metrics.counter("exchanges_rejected").inc(r.exchanges_rejected);
   metrics.counter("payload_bits").inc(r.payload_bits);
   metrics.histogram("max_inflight").observe(r.max_inflight);
+}
+
+/// Fold a run's freshness stats (sim/freshness.h) into the registry as
+/// counters, so they ride into manifests and metric snapshots through
+/// the existing export plumbing with no schema change. The mean is
+/// stored in milli-rounds (counters are integers). No-op for protocols
+/// without the last_gain_round hook (stats.valid == false).
+inline void record_freshness(MetricsRegistry& metrics,
+                             const FreshnessStats& stats) {
+  if (!stats.valid) return;
+  metrics.counter("node_age_nodes").inc(stats.informed_nodes);
+  metrics.counter("node_age_max").inc(static_cast<std::uint64_t>(stats.max_age));
+  metrics.counter("node_age_mean_milli")
+      .inc(static_cast<std::uint64_t>(stats.mean_age * 1000.0));
 }
 
 /// Derive the event-level histograms from a recorder: per-delivery

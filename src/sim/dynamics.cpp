@@ -1,0 +1,258 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace latgossip {
+
+namespace {
+
+// Per-schedule seed salts (mirrored verbatim by the oracle-side
+// interpreters in sim/oracle.cpp — the contract lives in
+// sim/dynamics_spec.h).
+constexpr std::uint64_t kChurnSalt = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kDriftEdgeSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kDriftRoundSalt = 0xbf58476d1ce4e5b9ULL;
+
+constexpr std::uint64_t kFixedOne = 1024;
+
+}  // namespace
+
+std::string dynamic_spec_error(const DynamicSpec& spec,
+                               std::size_t num_nodes) {
+  if (spec.drift_step >= 1024) return "drift_step must be < 1024";
+  if (spec.drift_bound < 1024 || spec.drift_bound > 1024 * 1024)
+    return "drift_bound must be in [1024, 1048576]";
+  if (spec.churn_prob < 0.0 || spec.churn_prob > 1.0)
+    return "churn_prob must be in [0, 1]";
+  if (spec.churn_active()) {
+    if (spec.churn_window < 1) return "churn_window must be >= 1 when churning";
+    if (spec.churn_absence < 1)
+      return "churn_absence must be >= 1 when churning";
+    if (spec.churn_mode > 2) return "churn_mode must be 0, 1, or 2";
+    if (num_nodes > 0 && spec.churn_spare >= num_nodes)
+      return "churn_spare is out of range";
+    if (num_nodes == 1) return "churn needs at least 2 nodes";
+  }
+  if (spec.adv_slow < 1024 || spec.adv_slow > 1024 * 1024)
+    return "adv_slow must be in [1024, 1048576]";
+  if (spec.adv_active() && num_nodes > 0 && spec.adv_source >= num_nodes)
+    return "adv_source is out of range";
+  if (spec.seed == 0) return "seed must be nonzero";
+  return std::string();
+}
+
+DynamicPlan::DynamicPlan(std::size_t num_nodes, std::size_t num_edges,
+                         const DynamicSpec& spec)
+    : spec_(spec), num_nodes_(num_nodes) {
+  const std::string err = dynamic_spec_error(spec, num_nodes);
+  if (!err.empty()) throw std::invalid_argument("DynamicPlan: " + err);
+
+  if (spec_.churn_active()) {
+    churn_.resize(num_nodes);
+    std::vector<std::pair<Round, NodeId>> resets;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      if (u == spec_.churn_spare) continue;
+      Rng rng(spec_.seed ^ (kChurnSalt * (std::uint64_t{u} + 1)));
+      const bool leaves = rng.bernoulli(spec_.churn_prob);
+      const Round leave =
+          1 + static_cast<Round>(
+                  rng.uniform(static_cast<std::uint64_t>(spec_.churn_window)));
+      const Round absence =
+          1 + static_cast<Round>(
+                  rng.uniform(static_cast<std::uint64_t>(spec_.churn_absence)));
+      const bool reset = spec_.churn_mode == 1 ||
+                         (spec_.churn_mode == 2 && rng.bernoulli(0.5));
+      if (!leaves) continue;
+      churn_[u].leave = leave;
+      churn_[u].rejoin = leave + absence;
+      churn_[u].reset = reset;
+      if (reset) resets.emplace_back(churn_[u].rejoin, u);
+    }
+    std::sort(resets.begin(), resets.end());
+    reset_rounds_.reserve(resets.size());
+    reset_nodes_.reserve(resets.size());
+    for (const auto& [round, node] : resets) {
+      reset_rounds_.push_back(round);
+      reset_nodes_.push_back(node);
+    }
+  }
+  if (spec_.drift_active()) drift_.resize(num_edges);
+  (void)num_edges;
+}
+
+void DynamicPlan::apply(SimOptions& opts) {
+  assert(!applied_ && "DynamicPlan applied twice without detach()");
+  applied_ = true;
+  if (spec_.adv_active()) {
+    touched_.reinit(num_nodes_);
+    touched_.set(spec_.adv_source);
+  }
+  if (spec_.drift_active())
+    std::fill(drift_.begin(), drift_.end(), DriftState{});
+  opts.dynamics = this;
+}
+
+void DynamicPlan::detach() { applied_ = false; }
+
+bool DynamicPlan::absent(NodeId u, Round r) const noexcept {
+  if (churn_.empty()) return false;
+  const Churn& c = churn_[u];
+  return c.leave >= 0 && r >= c.leave && r < c.rejoin;
+}
+
+std::uint64_t DynamicPlan::drift_factor(EdgeId e, Round r) {
+  DriftState& st = drift_[e];
+  if (st.round > r) st = DriftState{};  // defensive rewind (never in-run)
+  while (st.round < r) {
+    ++st.round;
+    std::uint64_t h = spec_.seed ^
+                      (kDriftEdgeSalt * (std::uint64_t{e} + 1)) ^
+                      (static_cast<std::uint64_t>(st.round) * kDriftRoundSalt);
+    const bool up = (splitmix64(h) & 1) != 0;
+    st.factor = st.factor *
+                (up ? kFixedOne + spec_.drift_step
+                    : kFixedOne - spec_.drift_step) /
+                kFixedOne;
+    const std::uint64_t lo = kFixedOne * kFixedOne / spec_.drift_bound;
+    st.factor = std::clamp<std::uint64_t>(st.factor, lo, spec_.drift_bound);
+  }
+  return st.factor;
+}
+
+Latency DynamicPlan::adjust_latency(NodeId u, NodeId peer, EdgeId e,
+                                    Latency lat, Round r) {
+  if (!drift_.empty()) {
+    const std::uint64_t f = drift_factor(e, r);
+    lat = static_cast<Latency>(static_cast<std::uint64_t>(lat) * f / kFixedOne);
+    if (lat < 1) lat = 1;
+  }
+  if (!touched_.empty() && touched_.test(u) != touched_.test(peer)) {
+    lat = static_cast<Latency>(static_cast<std::uint64_t>(lat) *
+                               spec_.adv_slow / kFixedOne);
+  }
+  return lat;
+}
+
+void DynamicPlan::note_delivery(NodeId to, Round) {
+  if (!touched_.empty()) touched_.set(to);
+}
+
+std::span<const NodeId> DynamicPlan::resets_at(Round r) const {
+  const auto [lo, hi] =
+      std::equal_range(reset_rounds_.begin(), reset_rounds_.end(), r);
+  const auto first = static_cast<std::size_t>(lo - reset_rounds_.begin());
+  const auto count = static_cast<std::size_t>(hi - lo);
+  return {reset_nodes_.data() + first, count};
+}
+
+std::string describe_dynamics(const DynamicSpec& spec) {
+  std::ostringstream os;
+  if (!spec.any()) return "off";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ' ';
+    first = false;
+  };
+  if (spec.drift_active()) {
+    sep();
+    os << "drift=" << spec.drift_step << "/" << spec.drift_bound;
+  }
+  if (spec.churn_active()) {
+    sep();
+    static const char* kModes[] = {"retain", "reset", "mixed"};
+    os << "churn=" << spec.churn_prob << " window=" << spec.churn_window
+       << " absence=" << spec.churn_absence << " mode="
+       << kModes[spec.churn_mode <= 2 ? spec.churn_mode : 0]
+       << " spare=" << spec.churn_spare;
+  }
+  if (spec.adv_active()) {
+    sep();
+    os << "adv=" << spec.adv_slow << " adv-source=" << spec.adv_source;
+  }
+  sep();
+  os << "seed=" << spec.seed;
+  return os.str();
+}
+
+DynamicSpec parse_dynamics_spec(const std::string& text, std::size_t num_nodes,
+                                NodeId source) {
+  DynamicSpec spec;
+  spec.churn_spare = source;
+  spec.adv_source = source;
+  bool churn_window_set = false, churn_absence_set = false,
+       churn_mode_set = false;
+
+  auto bad = [&](const std::string& why) -> std::invalid_argument {
+    return std::invalid_argument("--dynamics: " + why);
+  };
+  auto parse_u64 = [&](const std::string& v, const char* key) {
+    std::uint64_t out = 0;
+    const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || p != v.data() + v.size())
+      throw bad(std::string("bad number for ") + key + ": '" + v + "'");
+    return out;
+  };
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) throw bad("expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "drift") {
+      spec.drift_step = static_cast<std::uint32_t>(parse_u64(val, "drift"));
+    } else if (key == "drift-bound") {
+      spec.drift_bound =
+          static_cast<std::uint32_t>(parse_u64(val, "drift-bound"));
+    } else if (key == "churn") {
+      try {
+        spec.churn_prob = std::stod(val);
+      } catch (const std::exception&) {
+        throw bad("bad number for churn: '" + val + "'");
+      }
+    } else if (key == "churn-window") {
+      spec.churn_window = static_cast<Round>(parse_u64(val, "churn-window"));
+      churn_window_set = true;
+    } else if (key == "churn-absence") {
+      spec.churn_absence = static_cast<Round>(parse_u64(val, "churn-absence"));
+      churn_absence_set = true;
+    } else if (key == "churn-mode") {
+      if (val == "retain")
+        spec.churn_mode = 0;
+      else if (val == "reset")
+        spec.churn_mode = 1;
+      else if (val == "mixed")
+        spec.churn_mode = 2;
+      else
+        throw bad("churn-mode must be retain|reset|mixed, got '" + val + "'");
+      churn_mode_set = true;
+    } else if (key == "adv") {
+      spec.adv_slow = static_cast<std::uint32_t>(parse_u64(val, "adv"));
+    } else if (key == "seed") {
+      spec.seed = parse_u64(val, "seed");
+    } else {
+      throw bad("unknown key '" + key + "'");
+    }
+  }
+
+  if (spec.churn_active()) {
+    if (!churn_window_set) spec.churn_window = 16;
+    if (!churn_absence_set) spec.churn_absence = 8;
+    if (!churn_mode_set) spec.churn_mode = 1;
+  }
+  const std::string err = dynamic_spec_error(spec, num_nodes);
+  if (!err.empty()) throw bad(err);
+  return spec;
+}
+
+}  // namespace latgossip

@@ -1,0 +1,89 @@
+// DynamicPlan: the engine-side implementation of a DynamicSpec
+// (sim/dynamics_spec.h documents the schedule-derivation contracts).
+// A sibling of FaultPlan (sim/faults.h): construct from a spec, call
+// apply(opts) to install the hook, run, detach() to re-arm.
+//
+// Implementation strategy (deliberately different from the oracle's
+// brute force in sim/oracle.cpp, so the differential sweep compares two
+// independent mechanisations of the same contract):
+//  * churn intervals are precomputed per node at construction;
+//  * per-edge drift factors live in an incremental cache advanced
+//    monotonically round by round (runs query rounds in nondecreasing
+//    order within a run; apply() rewinds the cache);
+//  * the adversary's touched set is a Bitset updated on note_delivery.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/bitset.h"
+
+namespace latgossip {
+
+/// Validate a spec against a node count. Returns an empty string when
+/// the spec is usable and a human-readable complaint otherwise.
+std::string dynamic_spec_error(const DynamicSpec& spec, std::size_t num_nodes);
+
+/// Parse a `--dynamics=` CLI string: comma-separated key=value pairs
+///   drift=STEP  drift-bound=B  churn=PROB  churn-window=W
+///   churn-absence=A  churn-mode=retain|reset|mixed  adv=SLOW  seed=S
+/// Omitted churn knobs default to window=16, absence=8, mode=reset;
+/// drift-bound defaults to 2048. `source` becomes both churn_spare and
+/// adv_source. Throws std::invalid_argument on malformed input or when
+/// the resulting spec fails dynamic_spec_error().
+DynamicSpec parse_dynamics_spec(const std::string& text, std::size_t num_nodes,
+                                NodeId source);
+
+/// One-line human summary ("drift=16/2048 churn=0.5 mode=reset ...").
+std::string describe_dynamics(const DynamicSpec& spec);
+
+class DynamicPlan final : public DynamicsHook {
+ public:
+  /// Throws std::invalid_argument when dynamic_spec_error() complains.
+  DynamicPlan(std::size_t num_nodes, std::size_t num_edges,
+              const DynamicSpec& spec);
+
+  /// Install this plan into `opts` and reset per-run state (the
+  /// adversary's touched set and the drift caches). Asserts the plan is
+  /// not already applied; detach() re-arms.
+  void apply(SimOptions& opts);
+  void detach();
+
+  const DynamicSpec& spec() const noexcept override { return spec_; }
+  bool absent(NodeId u, Round r) const noexcept override;
+  Latency adjust_latency(NodeId u, NodeId peer, EdgeId e, Latency lat,
+                         Round r) override;
+  void note_delivery(NodeId to, Round r) override;
+  std::span<const NodeId> resets_at(Round r) const override;
+
+ private:
+  struct Churn {
+    Round leave = -1;   ///< first absent round (-1: never leaves)
+    Round rejoin = -1;  ///< first round present again
+    bool reset = false;
+  };
+  struct DriftState {
+    Round round = 0;
+    std::uint64_t factor = 1024;
+  };
+
+  std::uint64_t drift_factor(EdgeId e, Round r);
+
+  DynamicSpec spec_;
+  std::size_t num_nodes_ = 0;
+  std::vector<Churn> churn_;  ///< empty unless churn is active
+  /// Rejoin-with-reset events sorted by (round, node), split into
+  /// parallel vectors so resets_at() can answer with a contiguous
+  /// equal_range span over reset_nodes_.
+  std::vector<Round> reset_rounds_;
+  std::vector<NodeId> reset_nodes_;
+  std::vector<DriftState> drift_;  ///< per edge; empty unless drifting
+  Bitset touched_;                 ///< adversary; empty unless active
+  bool applied_ = false;
+};
+
+}  // namespace latgossip

@@ -49,12 +49,14 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "obs/recorder.h"
+#include "sim/dynamics_spec.h"
 #include "sim/metrics.h"
 #include "sim/workspace.h"
 
@@ -206,6 +208,33 @@ std::size_t payload_bits_of(const typename P::Payload& pay) {
 
 }  // namespace detail
 
+/// Engine-side interface of a dynamic scenario (sim/dynamics_spec.h
+/// documents the semantics; sim/dynamics.h provides the concrete
+/// DynamicPlan). The engine consults it only on the hooked path:
+///  - resets_at(r) runs at the top of round r, BEFORE deliveries:
+///    each listed node's protocol state is re-initialised (rejoin with
+///    reset) via detail::reset_protocol_node, in the returned
+///    (ascending id) order;
+///  - absent(u, r) removes u from the network for round r: u initiates
+///    nothing and any delivery touching u is dropped like a crash;
+///  - adjust_latency runs after jitter, before the >= 1 clamp — drift
+///    and the adversarial frontier slowdown compose here;
+///  - note_delivery(to, r) reports every successful delivery so the
+///    adversary can track the touched set.
+/// Like every other observer, the hook's owner must outlive the run.
+class DynamicsHook {
+ public:
+  virtual ~DynamicsHook() = default;
+  /// The declarative spec this hook implements; the oracle reads only
+  /// this and re-derives every schedule with independent code.
+  virtual const DynamicSpec& spec() const noexcept = 0;
+  virtual bool absent(NodeId u, Round r) const noexcept = 0;
+  virtual Latency adjust_latency(NodeId u, NodeId peer, EdgeId e, Latency lat,
+                                 Round r) = 0;
+  virtual void note_delivery(NodeId to, Round r) = 0;
+  virtual std::span<const NodeId> resets_at(Round r) const = 0;
+};
+
 /// Observer lifetime contract: every hook below (and the recorder
 /// pointer) references state owned by its installer — a SimTrace, a
 /// FaultPlan, an EventRecorder, or a capturing lambda. The owner must
@@ -253,6 +282,10 @@ struct SimOptions {
   /// hands each trial its worker's workspace; direct callers may pass
   /// trial_workspace() themselves.
   TrialWorkspace* workspace = nullptr;
+  /// Dynamic scenario (churn / latency drift / adversarial schedules);
+  /// see DynamicsHook above and sim/dynamics.h. Not owned; must outlive
+  /// the run. DynamicPlan::apply() installs it.
+  DynamicsHook* dynamics = nullptr;
 
   /// True iff any dynamic hook (or the recorder) is installed;
   /// hook-free runs take the compile-time NoHooks fast path through the
@@ -260,18 +293,21 @@ struct SimOptions {
   bool any_hooks() const {
     return static_cast<bool>(on_activation) || static_cast<bool>(is_crashed) ||
            static_cast<bool>(drop_delivery) ||
-           static_cast<bool>(latency_jitter) || recorder != nullptr;
+           static_cast<bool>(latency_jitter) || recorder != nullptr ||
+           dynamics != nullptr;
   }
 
-  /// Detach every observer: clears all four hooks and the recorder
-  /// pointer. Call when an installed observer's owner may die before
-  /// the next run_gossip() with this options object.
+  /// Detach every observer: clears all four hooks, the recorder
+  /// pointer, and the dynamics hook. Call when an installed observer's
+  /// owner may die before the next run_gossip() with this options
+  /// object.
   void reset_observers() {
     on_activation = nullptr;
     is_crashed = nullptr;
     drop_delivery = nullptr;
     latency_jitter = nullptr;
     recorder = nullptr;
+    dynamics = nullptr;
   }
 };
 
@@ -380,6 +416,16 @@ class EngineState {
   }
 };
 
+/// Re-initialise node u's protocol state at round r (churn rejoin with
+/// reset). Protocols opt in by exposing reset_node(NodeId, Round);
+/// protocols without it retain their state across a rejoin — both the
+/// engine and the oracle route resets through this one helper, so the
+/// opt-in is consistent on both sides of the differential check.
+template <typename P>
+inline void reset_protocol_node(P& proto, NodeId u, Round r) {
+  if constexpr (requires { proto.reset_node(u, r); }) proto.reset_node(u, r);
+}
+
 /// Engine core, instantiated twice per protocol: kHooked=false elides
 /// every std::function test from the loops; kHooked=true is the fully
 /// dynamic path. Both produce bit-identical results for the same seed
@@ -395,6 +441,8 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
   // every event (it cannot change mid-run; see the lifetime contract).
   [[maybe_unused]] EventRecorder* const recorder =
       kHooked ? opts.recorder : nullptr;
+  [[maybe_unused]] DynamicsHook* const dynamics =
+      kHooked ? opts.dynamics : nullptr;
   SimResult result;
   if (n == 0) {
     result.completed = proto.done(0);
@@ -458,6 +506,15 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
   auto& incoming_count = st.incoming_count;
 
   for (Round r = 0; r <= opts.max_rounds; ++r) {
+    // 0. Churn rejoin-with-reset: re-initialise returning nodes before
+    // any delivery of this round can reach them.
+    if constexpr (kHooked) {
+      if (dynamics) {
+        for (const NodeId u : dynamics->resets_at(r))
+          detail::reset_protocol_node(proto, u, r);
+      }
+    }
+
     // 1. Deliveries due now. Within the pending window, any entry in
     // this slot is due exactly at r (see the capacity invariant above).
     auto& due = slots[static_cast<std::size_t>(r) & mask];
@@ -474,9 +531,14 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
           if (outstanding[d.to] > 0) --outstanding[d.to];
         }
         if constexpr (kHooked) {
+          // Churn absence folds into the crash flag BEFORE the loss
+          // hook is consulted, so drop_delivery's RNG draw count stays
+          // identical between the engine and the oracle.
           const bool crashed =
               (opts.is_crashed && opts.is_crashed(d.to, r)) ||
-              (opts.is_crashed && opts.is_crashed(d.from, r));
+              (opts.is_crashed && opts.is_crashed(d.from, r)) ||
+              (dynamics &&
+               (dynamics->absent(d.to, r) || dynamics->absent(d.from, r)));
           const bool dropped =
               crashed ||
               (opts.drop_delivery &&
@@ -493,6 +555,7 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
         if constexpr (kHooked) {
           if (recorder)
             recorder->record_delivery(d.to, d.from, d.edge, d.start, r);
+          if (dynamics) dynamics->note_delivery(d.to, r);
         }
       }
       inflight -= due.size();
@@ -512,6 +575,7 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
     for (NodeId u = 0; u < n; ++u) {
       if constexpr (kHooked) {
         if (opts.is_crashed && opts.is_crashed(u, r)) continue;
+        if (dynamics && dynamics->absent(u, r)) continue;
       }
       if (opts.blocking && outstanding[u] > 0) continue;
 
@@ -561,6 +625,12 @@ SimResult run_gossip_impl(const WeightedGraph& g, P& proto,
       if constexpr (kHooked) {
         if (opts.latency_jitter) {
           lat = opts.latency_jitter(edge, lat);
+          if (lat < 1) lat = 1;
+          if (static_cast<std::size_t>(lat) > capacity)
+            grow(static_cast<std::size_t>(lat) + 1);
+        }
+        if (dynamics) {
+          lat = dynamics->adjust_latency(u, peer, edge, lat, r);
           if (lat < 1) lat = 1;
           if (static_cast<std::size_t>(lat) > capacity)
             grow(static_cast<std::size_t>(lat) + 1);

@@ -1,0 +1,51 @@
+// Freshness / node-age metric (Chen et al., "Timeliness Through
+// Telephones", motivates information age as an output dimension beyond
+// completion time): at the end of a run, node u's age is
+// end_round - last_gain_round(u) — how stale u's newest information is.
+// Protocols opt in by exposing
+//     Round last_gain_round(NodeId u) const;   // -1: never informed
+// (PushPullBroadcast reports its inform round; rumor-set protocols
+// track the round of the last rumor gain). Nodes that never gained
+// anything (last_gain_round < 0) are excluded and counted separately.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+
+namespace latgossip {
+
+struct FreshnessStats {
+  bool valid = false;  ///< protocol exposes last_gain_round and n > 0
+  std::size_t informed_nodes = 0;  ///< nodes with last_gain_round >= 0
+  Round max_age = 0;               ///< max over informed nodes
+  double mean_age = 0.0;           ///< mean over informed nodes
+};
+
+/// Compute the age distribution of `proto`'s nodes at `end_round`
+/// (typically SimResult::rounds). Returns valid=false for protocols
+/// without the last_gain_round hook.
+template <typename P>
+FreshnessStats freshness_of(const P& proto, std::size_t n, Round end_round) {
+  FreshnessStats stats;
+  if constexpr (requires(const P& p, NodeId u) {
+                  { p.last_gain_round(u) } -> std::convertible_to<Round>;
+                }) {
+    if (n == 0) return stats;
+    stats.valid = true;
+    double total = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const Round gain = proto.last_gain_round(u);
+      if (gain < 0) continue;
+      const Round age = end_round >= gain ? end_round - gain : 0;
+      ++stats.informed_nodes;
+      if (age > stats.max_age) stats.max_age = age;
+      total += static_cast<double>(age);
+    }
+    if (stats.informed_nodes > 0)
+      stats.mean_age = total / static_cast<double>(stats.informed_nodes);
+  }
+  return stats;
+}
+
+}  // namespace latgossip

@@ -82,8 +82,17 @@ struct ModelBug {
   /// Suppress the second (initiator-bound) delivery leg of every
   /// exchange — turns the bidirectional exchange into a push.
   bool drop_initiator_leg = false;
+  /// Ignore edge-latency drift entirely (the oracle pretends every
+  /// drift factor is 1024) — used to prove the shrinker reduces a
+  /// dynamics divergence to a tiny case that still drifts.
+  bool freeze_drift = false;
+  /// Extend every churned node's absence by this many rounds.
+  Round churn_absence_bias = 0;
 
-  bool any() const noexcept { return latency_bias != 0 || drop_initiator_leg; }
+  bool any() const noexcept {
+    return latency_bias != 0 || drop_initiator_leg || freeze_drift ||
+           churn_absence_bias != 0;
+  }
 };
 
 /// Edge joining u and v found by a linear walk of u's adjacency slice
@@ -95,6 +104,18 @@ std::optional<EdgeId> scan_for_edge(const WeightedGraph& g, NodeId u,
 /// Does u's adjacency slice contain exactly the half-edge (v, e)?
 /// Linear scan, same independence rationale.
 bool scan_adjacency_for(const WeightedGraph& g, NodeId u, NodeId v, EdgeId e);
+
+/// Brute-force interpreters of the DynamicSpec schedule contracts
+/// (sim/dynamics_spec.h), coded independently of DynamicPlan: the drift
+/// factor is recomputed from round 0 on every query (no incremental
+/// cache), and churn is re-derived from the per-node RNG on every
+/// question (no precomputed intervals). `absence_bias` is the ModelBug
+/// knob — always 0 outside tests.
+std::uint64_t oracle_drift_factor(const DynamicSpec& spec, EdgeId e, Round r);
+bool oracle_node_absent(const DynamicSpec& spec, NodeId u, Round r,
+                        Round absence_bias = 0);
+bool oracle_node_resets_at(const DynamicSpec& spec, NodeId u, Round r,
+                           Round absence_bias = 0);
 
 }  // namespace oracle_detail
 
@@ -129,15 +150,33 @@ SimResult run_gossip_oracle(const WeightedGraph& g, P& proto,
 
   std::vector<Exchange> in_flight;
 
+  // Dynamic scenario: the oracle reads only the declarative spec and
+  // interprets it with the independent brute-force helpers in
+  // oracle_detail (sim/oracle.cpp) — never DynamicPlan's caches.
+  const DynamicSpec* const dyn =
+      opts.dynamics != nullptr ? &opts.dynamics->spec() : nullptr;
+  std::vector<char> adv_touched;
+  if (dyn && dyn->adv_active()) {
+    adv_touched.assign(n, 0);
+    adv_touched[dyn->adv_source] = 1;
+  }
+
   // One delivery leg, replicating the engine's fault semantics exactly:
-  // a leg whose either endpoint has crashed by `now` is a crash-drop;
-  // drop_delivery is consulted only for non-crashed legs (the hook may
-  // own random state, so call counts must match the engine's).
+  // a leg whose either endpoint has crashed by `now` — or is absent to
+  // churn — is a crash-drop; drop_delivery is consulted only for
+  // non-crashed legs (the hook may own random state, so call counts
+  // must match the engine's).
   auto deliver_leg = [&](NodeId to, NodeId from, EdgeId edge, Round started,
                          Round now, typename P::Payload&& payload) {
     bool crashed = false;
     if (opts.is_crashed && opts.is_crashed(to, now)) crashed = true;
     if (!crashed && opts.is_crashed && opts.is_crashed(from, now))
+      crashed = true;
+    if (!crashed && dyn &&
+        (oracle_detail::oracle_node_absent(*dyn, to, now,
+                                           bug.churn_absence_bias) ||
+         oracle_detail::oracle_node_absent(*dyn, from, now,
+                                           bug.churn_absence_bias)))
       crashed = true;
     bool dropped = crashed;
     if (!dropped && opts.drop_delivery)
@@ -152,9 +191,21 @@ SimResult run_gossip_oracle(const WeightedGraph& g, P& proto,
     ++result.messages_delivered;
     if (opts.recorder)
       opts.recorder->record_delivery(to, from, edge, started, now);
+    if (!adv_touched.empty()) adv_touched[to] = 1;
   };
 
   for (Round r = 0; r <= opts.max_rounds; ++r) {
+    // 0. Churn rejoin-with-reset, BEFORE deliveries, ascending node id
+    // (matching the engine's resets_at ordering); re-derived per node
+    // per round by brute force.
+    if (dyn && dyn->churn_active()) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (oracle_detail::oracle_node_resets_at(*dyn, u, r,
+                                                 bug.churn_absence_bias))
+          detail::reset_protocol_node(proto, u, r);
+      }
+    }
+
     // 1. Deliver every exchange completing this round, in creation
     // order (full scan of the in-flight list; the survivors are
     // compacted into a fresh list — no bucketing, no reuse).
@@ -190,6 +241,9 @@ SimResult run_gossip_oracle(const WeightedGraph& g, P& proto,
     bool any_selected = false;
     for (NodeId u = 0; u < n; ++u) {
       if (opts.is_crashed && opts.is_crashed(u, r)) continue;
+      if (dyn && oracle_detail::oracle_node_absent(*dyn, u, r,
+                                                   bug.churn_absence_bias))
+        continue;
       if (opts.blocking) {
         // Blocking model: u may not initiate while one of its own
         // exchanges is still in flight — answered by scanning the list.
@@ -235,6 +289,17 @@ SimResult run_gossip_oracle(const WeightedGraph& g, P& proto,
       if (opts.latency_jitter) {
         lat = opts.latency_jitter(edge, lat);
         if (lat < 1) lat = 1;
+      }
+      // Dynamics compose after jitter: drift (with its own >= 1 clamp),
+      // then the adversarial frontier slowdown (see dynamics_spec.h).
+      if (dyn && dyn->drift_active() && !bug.freeze_drift) {
+        const std::uint64_t f = oracle_detail::oracle_drift_factor(*dyn, edge, r);
+        lat = static_cast<Latency>(static_cast<std::uint64_t>(lat) * f / 1024);
+        if (lat < 1) lat = 1;
+      }
+      if (!adv_touched.empty() && adv_touched[u] != adv_touched[peer]) {
+        lat = static_cast<Latency>(static_cast<std::uint64_t>(lat) *
+                                   dyn->adv_slow / 1024);
       }
       if (bug.latency_bias != 0)
         lat = std::max<Latency>(1, lat + bug.latency_bias);

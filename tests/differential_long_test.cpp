@@ -14,21 +14,61 @@
 namespace latgossip {
 namespace {
 
+void run_or_dump(const TestCase& tc) {
+  const DiffReport rep = run_differential(tc);
+  if (!rep.ok) {
+    std::ostringstream os;
+    for (const std::string& f : rep.failures) os << "  " << f << "\n";
+    write_case(os, tc);
+    FAIL() << "divergence on " << describe(tc) << "\n" << os.str();
+  }
+}
+
 TEST(DifferentialLong, WideProfileSweep) {
   Rng rng(0xeadbeef);
   CaseProfile profile;
   profile.max_nodes = 24;
   profile.max_latency = 17;
+  // allow_dynamics defaults on: roughly a quarter of the simple-protocol
+  // cases run under drift / churn / adversarial schedules.
   for (int i = 0; i < 10000; ++i) {
     const TestCase tc = random_case(rng, profile);
     ASSERT_TRUE(case_valid(tc)) << describe(tc);
-    const DiffReport rep = run_differential(tc);
-    if (!rep.ok) {
-      std::ostringstream os;
-      for (const std::string& f : rep.failures) os << "  " << f << "\n";
-      write_case(os, tc);
-      FAIL() << "divergence on " << describe(tc) << "\n" << os.str();
+    run_or_dump(tc);
+  }
+}
+
+// Dynamics-saturated leg: every case carries a dynamic scenario, with
+// all three schedules stacked on every fourth case, over the wide
+// profile. This is where slow drift-walk corner states (deep clamp
+// saturation, long absences) get the iterations they need.
+TEST(DifferentialLong, ForcedDynamicsSweep) {
+  Rng rng(0x1a7e);
+  CaseProfile profile;
+  profile.max_nodes = 20;
+  profile.max_latency = 17;
+  profile.composites = false;
+  profile.allow_dynamics = false;  // forced below instead
+  for (int i = 0; i < 2000; ++i) {
+    TestCase tc = random_case(rng, profile);
+    tc.dynamics.seed = 0xd00d + static_cast<std::uint64_t>(i);
+    if (i % 4 == 0 || i % 4 == 3) {
+      tc.dynamics.drift_step = 16u << (i % 6);
+      tc.dynamics.drift_bound = (i % 2) != 0 ? 2048 : 1024 * 64;
     }
+    if (i % 4 == 1 || i % 4 == 3) {
+      tc.dynamics.churn_prob = 0.2 + 0.07 * static_cast<double>(i % 10);
+      tc.dynamics.churn_window = 4 + (i % 20);
+      tc.dynamics.churn_absence = 1 + (i % 15);
+      tc.dynamics.churn_mode = i % 3;
+      tc.dynamics.churn_spare = tc.source;
+    }
+    if (i % 4 == 2 || i % 4 == 3) {
+      tc.dynamics.adv_slow = 1024 + 128u * static_cast<std::uint64_t>(i % 40);
+      tc.dynamics.adv_source = tc.source;
+    }
+    if (!case_valid(tc)) continue;  // e.g. churn on a 2-node graph edge case
+    run_or_dump(tc);
   }
 }
 

@@ -25,39 +25,57 @@ std::string failure_dump(const TestCase& tc, const DiffReport& rep) {
   return os.str();
 }
 
+/// Coverage counters a sweep accumulates, so tests can assert the case
+/// generator actually visited the advertised space instead of silently
+/// degenerating (e.g. a probability knob regressing to zero).
+struct Coverage {
+  std::array<int, static_cast<std::size_t>(CheckProto::kCount)> per_proto{};
+  int faulted = 0;
+  int fault_free = 0;
+  int drifting = 0;
+  int churning = 0;
+  int adversarial = 0;
+};
+
 void sweep(Rng& rng, const CaseProfile& profile, int cases,
-           std::array<int, static_cast<std::size_t>(CheckProto::kCount)>*
-               per_proto = nullptr,
-           int* faulted = nullptr, int* fault_free = nullptr) {
+           Coverage* cov = nullptr) {
   for (int i = 0; i < cases; ++i) {
     const TestCase tc = random_case(rng, profile);
     ASSERT_TRUE(case_valid(tc)) << describe(tc);
     const DiffReport rep = run_differential(tc);
     ASSERT_TRUE(rep.ok) << failure_dump(tc, rep);
-    if (per_proto) ++(*per_proto)[static_cast<std::size_t>(tc.proto)];
-    if (faulted && tc.faults.any()) ++*faulted;
-    if (fault_free && !tc.faults.any()) ++*fault_free;
+    if (!cov) continue;
+    ++cov->per_proto[static_cast<std::size_t>(tc.proto)];
+    if (tc.faults.any())
+      ++cov->faulted;
+    else
+      ++cov->fault_free;
+    if (tc.dynamics.drift_active()) ++cov->drifting;
+    if (tc.dynamics.churn_active()) ++cov->churning;
+    if (tc.dynamics.adv_active()) ++cov->adversarial;
   }
 }
 
 // The quick-profile sweep: >= 2000 random cases across all eight
 // protocols (including the rumor-set goals that exercise the
-// copy-on-write snapshot payloads), with and without faults, zero
-// divergence tolerated.
+// copy-on-write snapshot payloads), with and without faults, plus the
+// dynamic families (drift / churn / adversary); zero divergence
+// tolerated.
 TEST(Differential, QuickProfileSweep) {
   Rng rng(0x20260806);
-  std::array<int, static_cast<std::size_t>(CheckProto::kCount)> per_proto{};
-  int faulted = 0;
-  int fault_free = 0;
-  sweep(rng, CaseProfile{}, 2000, &per_proto, &faulted, &fault_free);
+  Coverage cov;
+  sweep(rng, CaseProfile{}, 2000, &cov);
 
   // The sweep must actually have covered the advertised space.
-  for (std::size_t p = 0; p < per_proto.size(); ++p)
-    EXPECT_GT(per_proto[p], 0)
+  for (std::size_t p = 0; p < cov.per_proto.size(); ++p)
+    EXPECT_GT(cov.per_proto[p], 0)
         << "protocol " << check_proto_name(static_cast<CheckProto>(p))
         << " never generated";
-  EXPECT_GT(faulted, 50);
-  EXPECT_GT(fault_free, 50);
+  EXPECT_GT(cov.faulted, 50);
+  EXPECT_GT(cov.fault_free, 50);
+  EXPECT_GT(cov.drifting, 10);
+  EXPECT_GT(cov.churning, 10);
+  EXPECT_GT(cov.adversarial, 10);
 }
 
 // Model-variant stress: every case runs blocking or in-degree-capped or
@@ -75,6 +93,87 @@ TEST(Differential, ForcedModelKnobs) {
     const DiffReport rep = run_differential(tc);
     ASSERT_TRUE(rep.ok) << failure_dump(tc, rep);
   }
+}
+
+// Dynamic-scenario stress: force each family (drift, churn in every
+// mode, adversary, and all three combined) onto random simple-protocol
+// topologies instead of waiting for the generator's 25% roll.
+TEST(Differential, ForcedDynamics) {
+  Rng rng(0xd15c0);
+  CaseProfile profile;
+  profile.composites = false;
+  profile.allow_dynamics = false;  // scenarios are forced below
+  for (int i = 0; i < 120; ++i) {
+    TestCase tc = random_case(rng, profile);
+    tc.dynamics.seed = 0x51u + static_cast<std::uint64_t>(i) * 2;
+    switch (i % 4) {
+      case 0:
+        tc.dynamics.drift_step = 16u << (i % 5);
+        tc.dynamics.drift_bound = (i % 2) != 0 ? 2048 : 4096;
+        break;
+      case 1:
+        tc.dynamics.churn_prob = 0.3 + 0.05 * static_cast<double>(i % 10);
+        tc.dynamics.churn_window = 4 + (i % 12);
+        tc.dynamics.churn_absence = 2 + (i % 7);
+        tc.dynamics.churn_mode = i % 3;
+        tc.dynamics.churn_spare = tc.source;
+        break;
+      case 2:
+        tc.dynamics.adv_slow = 1536 + 64u * static_cast<std::uint64_t>(i);
+        tc.dynamics.adv_source = tc.source;
+        break;
+      default:
+        tc.dynamics.drift_step = 64;
+        tc.dynamics.churn_prob = 0.4;
+        tc.dynamics.churn_window = 8;
+        tc.dynamics.churn_absence = 4;
+        tc.dynamics.churn_mode = 2;
+        tc.dynamics.churn_spare = tc.source;
+        tc.dynamics.adv_slow = 2048;
+        tc.dynamics.adv_source = tc.source;
+        break;
+    }
+    ASSERT_TRUE(case_valid(tc)) << describe(tc);
+    const DiffReport rep = run_differential(tc);
+    ASSERT_TRUE(rep.ok) << failure_dump(tc, rep);
+  }
+}
+
+// Composite protocols own their SimOptions internally, so random cases
+// must keep every engine-model knob off for them — and case_valid must
+// reject a hand-built composite case that smuggles one in (this used to
+// be convention only; now it is an enforced contract).
+TEST(Differential, CompositeCasesKeepKnobsOff) {
+  Rng rng(0xc0de);
+  CaseProfile profile;
+  int composites_seen = 0;
+  for (int i = 0; i < 400; ++i) {
+    const TestCase tc = random_case(rng, profile);
+    if (!check_proto_is_composite(tc.proto)) continue;
+    ++composites_seen;
+    EXPECT_FALSE(tc.blocking) << describe(tc);
+    EXPECT_EQ(tc.max_incoming_per_round, 0u) << describe(tc);
+    EXPECT_EQ(tc.jitter_spread, 0) << describe(tc);
+    EXPECT_FALSE(tc.faults.any()) << describe(tc);
+    EXPECT_FALSE(tc.dynamics.any()) << describe(tc);
+  }
+  EXPECT_GT(composites_seen, 30);
+
+  // Hand-built violations are rejected outright.
+  TestCase tc;
+  tc.proto = CheckProto::kUnified;
+  tc.num_nodes = 4;
+  tc.edges = {Edge{0, 1, 1}, Edge{1, 2, 1}, Edge{2, 3, 1}, Edge{0, 3, 1}};
+  ASSERT_TRUE(case_valid(tc));
+  TestCase with_dynamics = tc;
+  with_dynamics.dynamics.drift_step = 64;
+  EXPECT_FALSE(case_valid(with_dynamics));
+  TestCase with_faults = tc;
+  with_faults.faults.drop_probability = 0.5;
+  EXPECT_FALSE(case_valid(with_faults));
+  TestCase with_jitter = tc;
+  with_jitter.jitter_spread = 2;
+  EXPECT_FALSE(case_valid(with_jitter));
 }
 
 // The harness has teeth: an injected off-by-one latency bias in the

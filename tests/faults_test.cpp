@@ -199,6 +199,89 @@ TEST(Faults, RecorderSeparatesCrashDropsFromLinkDrops) {
   EXPECT_GT(r.messages_dropped, 0u);
 }
 
+TEST(FaultPlan, CrashAllButOneLeavesOnlyTheSpare) {
+  // count = n - 1 is the extreme the sampler allows: every node except
+  // the spare ends up crashed, and the loop still terminates.
+  const std::size_t n = 10;
+  FaultPlan plan(n, 17);
+  plan.crash_random_nodes(n - 1, 0, /*spare=*/4);
+  EXPECT_EQ(plan.num_crashed_by(0), n - 1);
+  EXPECT_FALSE(plan.crashed(4, 1'000'000));
+  for (NodeId u = 0; u < n; ++u)
+    if (u != 4) EXPECT_TRUE(plan.crashed(u, 0));
+  // One more than n - 1 must throw, not spin forever.
+  FaultPlan over(n, 17);
+  EXPECT_THROW(over.crash_random_nodes(n, 0, 4), std::invalid_argument);
+}
+
+TEST(FaultPlan, CrashEveryoneButSourceAtRoundZeroStallsTheRun) {
+  // The run degenerates to the source alone: no deliveries can land,
+  // the engine stops idle and incomplete rather than spinning.
+  const auto g = make_clique(8);
+  NetworkView view(g, false);
+  PushPullBroadcast proto(view, 0, Rng(21));
+  FaultPlan plan(8, 9);
+  plan.crash_random_nodes(7, 0, /*spare=*/0);
+  SimOptions opts;
+  plan.apply(opts);
+  opts.max_rounds = 2000;
+  const SimResult r = run_gossip(g, proto, opts);
+  EXPECT_FALSE(r.completed);
+  for (NodeId u = 1; u < 8; ++u) EXPECT_FALSE(proto.informed(u));
+}
+
+TEST(FaultPlan, DropProbabilityExtremes) {
+  // p = 0.0 installs no drop hook at all: the run is loss-free and
+  // bit-identical to a run without the plan.
+  const auto g = make_clique(12);
+  {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, Rng(31));
+    FaultPlan plan(12, 7);
+    plan.set_link_drop_probability(0.0);
+    SimOptions opts;
+    plan.apply(opts);
+    EXPECT_FALSE(static_cast<bool>(opts.drop_delivery));
+    opts.max_rounds = 2000;
+    const SimResult r = run_gossip(g, proto, opts);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.messages_dropped, 0u);
+  }
+  // p = 1.0 loses every payload: nothing is ever delivered, the source
+  // stays alone, and every initiated exchange turns into drops.
+  {
+    NetworkView view(g, false);
+    PushPullBroadcast proto(view, 0, Rng(31));
+    FaultPlan plan(12, 7);
+    plan.set_link_drop_probability(1.0);
+    SimOptions opts;
+    plan.apply(opts);
+    opts.max_rounds = 2000;
+    const SimResult r = run_gossip(g, proto, opts);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.messages_delivered, 0u);
+    EXPECT_GT(r.messages_dropped, 0u);
+    for (NodeId u = 1; u < 12; ++u) EXPECT_FALSE(proto.informed(u));
+  }
+}
+
+TEST(FaultPlan, DetachReArmsApplyAndClearsHooks) {
+  FaultPlan plan(6, 3);
+  plan.set_link_drop_probability(0.5);
+  SimOptions opts;
+  plan.apply(opts);
+  EXPECT_TRUE(static_cast<bool>(opts.is_crashed));
+  EXPECT_TRUE(static_cast<bool>(opts.drop_delivery));
+  plan.detach(opts);
+  EXPECT_FALSE(static_cast<bool>(opts.is_crashed));
+  EXPECT_FALSE(static_cast<bool>(opts.drop_delivery));
+  // detach() re-arms apply(): a second cycle works (the assert inside
+  // apply() would abort a debug build if the flag were stuck).
+  plan.apply(opts);
+  EXPECT_TRUE(static_cast<bool>(opts.is_crashed));
+  plan.detach(opts);
+}
+
 TEST(Jitter, UniformJitterStaysPositiveAndBounded) {
   auto jitter = make_uniform_jitter(3, 41);
   for (int i = 0; i < 1000; ++i) {

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "store/json.h"
 #include "store/server.h"
@@ -231,6 +232,83 @@ TEST(StoreServer, EndToEndOverUnixSocket) {
   // Clean shutdown removes the socket file.
   EXPECT_FALSE(std::filesystem::exists(socket_path));
   // The daemon's inserts persist: a fresh store sees the 4 cells.
+  ExperimentStore reopened(dir);
+  EXPECT_EQ(reopened.size(), 4u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StoreServer, ManyConcurrentClientsConsistent) {
+  // Stress leg (runs under TSan in CI): N client threads hammer one
+  // daemon over the socket with the same deterministic cell. Every
+  // response must carry the byte-identical result block, and the
+  // per-response hit/miss counters must always cover the full trial
+  // count — the store never answers a half-warm cell inconsistently.
+  const std::string dir = scratch_dir("stress");
+  { ExperimentStore create(dir); }  // pre-create so the thread can't race
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "latgossip_stress.sock")
+          .string();
+
+  ServeOptions opts;
+  opts.store_dir = dir;
+  opts.socket_path = socket_path;
+  opts.threads = 4;
+  opts.max_requests = 128;  // safety net if shutdown is lost
+  opts.quiet = true;
+  std::thread server([&] { EXPECT_EQ(run_server(opts), 0); });
+
+  std::string ping;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      ping = query_server(socket_path, R"({"op":"ping"})");
+      break;
+    } catch (const std::runtime_error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_EQ(ping, R"({"ok":true,"op":"ping"})");
+
+  // One cold query fixes the canonical answer; everything after is
+  // compared against it byte for byte.
+  const std::string canonical =
+      json_serialize(*parsed(query_server(socket_path, kCell)).get("result"));
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 6;
+  std::vector<std::string> results(kClients * kQueriesPerClient);
+  std::vector<long long> hits(kClients * kQueriesPerClient, -1);
+  std::vector<long long> misses(kClients * kQueriesPerClient, -1);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int cidx = 0; cidx < kClients; ++cidx) {
+    clients.emplace_back([&, cidx] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const int slot = cidx * kQueriesPerClient + q;
+        const std::string response = query_server(socket_path, kCell);
+        const JsonValue doc = parsed(response);
+        if (!doc.get_bool("ok", false) || doc.get("result") == nullptr)
+          continue;  // leaves the slot empty; checked below
+        results[slot] = json_serialize(*doc.get("result"));
+        hits[slot] = doc.get("store")->get_i64("hits", -1);
+        misses[slot] = doc.get("store")->get_i64("misses", -1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (std::size_t slot = 0; slot < results.size(); ++slot) {
+    EXPECT_EQ(results[slot], canonical) << "client response " << slot;
+    // The cell has 4 trials; each answer accounts for all of them, and
+    // after the cold fill everything should be a hit.
+    EXPECT_EQ(hits[slot] + misses[slot], 4) << "client response " << slot;
+    EXPECT_EQ(misses[slot], 0) << "client response " << slot;
+  }
+
+  EXPECT_EQ(query_server(socket_path, R"({"op":"shutdown"})"),
+            R"({"ok":true,"op":"shutdown"})");
+  server.join();
+  // Exactly the 4 cells of the shared key exist, however many clients
+  // raced over them.
   ExperimentStore reopened(dir);
   EXPECT_EQ(reopened.size(), 4u);
   std::filesystem::remove_all(dir);

@@ -19,6 +19,8 @@
 //   --max-nodes=N    widen the case profile (default 14)
 //   --max-latency=L  widen the latency range (default 9)
 //   --no-faults      disable crash/drop injection
+//   --no-dynamics    disable dynamic scenarios (latency drift, churn,
+//                    adversarial slowdown)
 //   --no-composites  simple protocols only
 //   --shrink         shrink a failing case before reporting (default on;
 //                    --shrink=0 disables)
@@ -80,7 +82,8 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   try {
     args.allow_only({"cases", "minutes", "seed", "max-nodes", "max-latency",
-                     "no-faults", "no-composites", "shrink", "out"});
+                     "no-faults", "no-dynamics", "no-composites", "shrink",
+                     "out"});
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
@@ -98,6 +101,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("max-nodes", 14));
   profile.max_latency = args.get_int("max-latency", 9);
   profile.allow_faults = !args.get_bool("no-faults", false);
+  profile.allow_dynamics = !args.get_bool("no-dynamics", false);
   profile.composites = !args.get_bool("no-composites", false);
   if (profile.max_nodes < profile.min_nodes || profile.max_latency < 1) {
     std::cerr << "bad profile bounds\n";

@@ -5,6 +5,7 @@
 //   latgossip run --in=FILE --proto=<pushpull|flooding|eid|tk|unified>
 //                 [--source=0] [--seed=1] [--trials=N] [--threads=T]
 //                 [--rumor-rep=<dense|sparse|count|auto>]
+//                 [--dynamics=SPEC]
 //                 [--trace=FILE[.json]] [--manifest=FILE.jsonl]
 //                 [--curve-out=FILE.csv]
 //                 [--store=DIR [--store-verify]]
@@ -44,6 +45,19 @@
 // All representations are observationally identical; the choice only
 // moves memory/time. The resolved name is echoed and recorded in the
 // manifest protocol field as e.g. "flooding/sparse".
+//
+// --dynamics=SPEC drives the run under a dynamic-topology scenario
+// (sim/dynamics.h): comma-separated key=value pairs among
+// drift=STEP[,drift-bound=B] (bounded multiplicative latency walk,
+// x1024 fixed point), churn=P[,churn-window=W,churn-absence=A,
+// churn-mode=retain|reset|mixed] (node leave/rejoin; the source is
+// always spared), adv=SLOW (adversary slows frontier-crossing edges by
+// SLOW/1024), seed=S. Only single-phase protocols (pushpull, flooding)
+// accept it — composite protocols own their SimOptions — and it is
+// incompatible with --store (dynamics are not part of the cell key).
+// Runs report the node-age freshness of the final state: per informed
+// node, rounds since it last gained a rumor ("node age max/mean",
+// recorded in manifests as node_age_* metrics).
 //
 // Families: clique, cycle, path, star, grid (--rows, --cols), er (--p),
 // regular (--d), ws (--k --beta), ba (--attach), ring_cliques
@@ -237,6 +251,24 @@ int cmd_run(const Args& args) {
         "exposes them");
   if (store_verify && store_dir.empty())
     throw std::invalid_argument("--store-verify needs --store=DIR");
+  // Dynamic scenario: parsed once, validated against the loaded graph;
+  // one DynamicPlan per trial is constructed inside run_single (the
+  // schedule itself is a deterministic function of the spec, so every
+  // trial replays the same scenario with its own protocol randomness).
+  const std::string dynamics_str = args.get("dynamics", "");
+  DynamicSpec dynamics_spec;
+  if (!dynamics_str.empty()) {
+    if (proto_name != "pushpull" && proto_name != "flooding")
+      throw std::invalid_argument(
+          "--dynamics only applies to --proto=pushpull|flooding; composite "
+          "protocols own their SimOptions");
+    if (!store_dir.empty())
+      throw std::invalid_argument(
+          "--dynamics is not part of the store cell key; drop --store or "
+          "the dynamics");
+    dynamics_spec = parse_dynamics_spec(dynamics_str, n, source);
+  }
+  const bool dynamics_on = dynamics_spec.any();
   // A store hit skips the trial body, so exports that only the live
   // body can produce are incompatible with caching.
   if (!store_dir.empty() && (!trace_path.empty() || !curve_path.empty()))
@@ -272,6 +304,9 @@ int cmd_run(const Args& args) {
   std::vector<std::size_t> trace_events(trials, 0);
   std::vector<std::vector<Round>> inform_rounds(
       curve_path.empty() ? 0 : trials);
+  // Node-age freshness of the final protocol state (valid only for
+  // protocols exposing last_gain_round — pushpull and flooding).
+  std::vector<FreshnessStats> freshness(trials);
 
   // One trial with a private RNG; .completed carries protocol-level
   // success so the multi-trial aggregate can count completions.
@@ -292,11 +327,17 @@ int cmd_run(const Args& args) {
     opts.max_rounds = max_rounds;
     opts.workspace = &ws;
     if (recording) opts.recorder = &recorder;
+    std::optional<DynamicPlan> dyn_plan;
+    if (dynamics_on) {
+      dyn_plan.emplace(n, g.num_edges(), dynamics_spec);
+      dyn_plan->apply(opts);
+    }
     SimResult result;
     if (proto_name == "pushpull") {
       NetworkView view(g, false);
       PushPullBroadcast proto(view, source, trial_rng);
       result = run_gossip(g, proto, opts);
+      freshness[trial] = freshness_of(proto, n, result.rounds);
       if (!curve_path.empty()) {
         inform_rounds[trial].resize(n);
         for (NodeId v = 0; v < n; ++v)
@@ -307,7 +348,9 @@ int cmd_run(const Args& args) {
       result = with_rumor_rep(rumor_rep, n, [&]<RumorSetRep R>() {
         BasicRoundRobinFlooding<R> proto(view, GossipGoal::kAllToAll, source,
                                          own_id_rumor_sets<R>(n));
-        return run_gossip(g, proto, opts);
+        const SimResult rr = run_gossip(g, proto, opts);
+        freshness[trial] = freshness_of(proto, n, rr.rounds);
+        return rr;
       });
     } else if (proto_name == "eid") {
       const GeneralEidOutcome out =
@@ -336,6 +379,7 @@ int cmd_run(const Args& args) {
       result.fingerprint = recorder.fingerprint();
       record_sim_result(metrics, result);
       record_event_histograms(metrics, recorder);
+      record_freshness(metrics, freshness[trial]);
       metrics_snapshots[trial] = metrics_json(metrics);
       if (!trace_path.empty()) {
         trace_events[trial] = recorder.events().size();
@@ -437,6 +481,27 @@ int cmd_run(const Args& args) {
     std::printf("complete       %zu/%zu\n", agg.num_completed, trials);
     std::printf("exchanges mean %.1f\n", agg.activations.mean());
     std::printf("payload bits   %.1f (mean)\n", agg.payload_bits.mean());
+    if (dynamics_on)
+      std::printf("dynamics       %s\n",
+                  describe_dynamics(dynamics_spec).c_str());
+    {
+      // Freshness aggregate across the trials that produced it (every
+      // trial for pushpull/flooding, none otherwise).
+      std::size_t valid = 0;
+      double max_sum = 0.0, mean_sum = 0.0;
+      for (const FreshnessStats& f : freshness) {
+        if (!f.valid) continue;
+        ++valid;
+        max_sum += static_cast<double>(f.max_age);
+        mean_sum += f.mean_age;
+      }
+      if (valid > 0) {
+        std::printf("node age max   %.1f (mean over %zu trials)\n",
+                    max_sum / static_cast<double>(valid), valid);
+        std::printf("node age mean  %.2f\n",
+                    mean_sum / static_cast<double>(valid));
+      }
+    }
     if (recording)
       std::printf("fingerprint    0x%016llx\n",
                   static_cast<unsigned long long>(agg.fingerprint));
@@ -475,6 +540,13 @@ int cmd_run(const Args& args) {
   std::printf("complete       %s\n", complete ? "yes" : "NO");
   std::printf("exchanges      %zu\n", result.activations);
   std::printf("payload bits   %zu\n", result.payload_bits);
+  if (dynamics_on)
+    std::printf("dynamics       %s\n", describe_dynamics(dynamics_spec).c_str());
+  if (freshness[0].valid) {
+    std::printf("node age max   %lld\n",
+                static_cast<long long>(freshness[0].max_age));
+    std::printf("node age mean  %.2f\n", freshness[0].mean_age);
+  }
   if (recording)
     std::printf("fingerprint    0x%016llx\n",
                 static_cast<unsigned long long>(result.fingerprint));
